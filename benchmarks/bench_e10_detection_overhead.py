@@ -1,0 +1,89 @@
+"""E10 — what detection costs, and the trivial Ω(n) lower bound.
+
+Detection is the paper's hard part: a robot must not merely be gathered but
+*know* it.  Rows measure, for both the UXS algorithm and Faster-Gathering,
+the gap between the first all-co-located round and the final termination
+round — the "+2T silent wait" / "finish the step" tails — plus the sanity
+check of the paper's only lower bound: two robots at the ends of a path
+cannot gather before ~n/2 rounds, whatever the algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import assign_labels, dispersed_random, run_gathering, undispersed_placement
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+from conftest import print_experiment
+
+
+def run_overhead():
+    rows = []
+    for algo_name, factory_fn in (
+        ("uxs", lambda: uxs_gathering_program()),
+        ("faster", lambda: faster_gathering_program()),
+    ):
+        for n, k in ((9, 3), (12, 4)):
+            g = gg.ring(n)
+            starts = dispersed_random(g, k, seed=n)
+            labels = assign_labels(k, n, seed=k)
+            rec = run_gathering(algo_name, g, starts, labels, factory_fn)
+            assert rec.gathered and rec.detected
+            first = rec.first_gather_round
+            rows.append(
+                {
+                    "algorithm": algo_name,
+                    "n": n,
+                    "k": k,
+                    "first_gather": first,
+                    "termination": rec.rounds,
+                    "detection_tail": rec.rounds - (first if first is not None else 0),
+                }
+            )
+    return rows
+
+
+def run_lower_bound():
+    """Two robots at the ends of a path: any algorithm needs >= ceil((n-1)/2)
+    rounds before they can even be co-located (each moves one hop per
+    round)."""
+    rows = []
+    for n in (8, 12, 16):
+        g = gg.path(n)
+        rec = run_gathering(
+            "faster", g, [0, n - 1], [5, 9], lambda: faster_gathering_program()
+        )
+        assert rec.gathered and rec.detected
+        rows.append(
+            {
+                "n": n,
+                "first_gather": rec.first_gather_round,
+                "lower_bound": (n - 1) // 2,
+                "respected": rec.first_gather_round >= (n - 1) // 2,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E10")
+def test_e10_detection_overhead(bench_once):
+    rows = bench_once(run_overhead)
+    print_experiment("E10a - detection overhead (termination - first gather)", rows)
+    for r in rows:
+        assert r["detection_tail"] >= 0
+        # detection costs something: the tail is never zero for these
+        # algorithms (a silent wait or step-completion is always pending)
+        assert r["detection_tail"] > 0
+
+
+@pytest.mark.benchmark(group="E10")
+def test_e10_trivial_lower_bound(bench_once):
+    rows = bench_once(run_lower_bound)
+    print_experiment("E10b - Ω(n) lower bound sanity (path endpoints)", rows)
+    for r in rows:
+        assert r["respected"], r

@@ -1,0 +1,63 @@
+"""E11 (extension) — what knowing ``k`` buys: census detection.
+
+Not a paper table: the paper insists robots do not know ``k`` and contrasts
+itself with prior work where ``k`` is implicit.  This ablation quantifies
+the choice: with ``k`` known, detection collapses to a head-count and the
+detection tail drops from the silent-wait machinery (~2T·remaining-bits) to
+~1 round, while the *gathering* time is untouched — i.e. the entire cost of
+the paper's harder problem setting is in the tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import assign_labels, dispersed_random, run_gathering
+from repro.core.known_k import known_k_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+
+from conftest import print_experiment
+
+CASES = [("ring", 9, 3), ("ring", 12, 4), ("erdos_renyi", 10, 4)]
+
+
+def graph_for(family, n):
+    return gg.ring(n) if family == "ring" else gg.erdos_renyi(n, seed=n)
+
+
+def run_sweep():
+    rows = []
+    for family, n, k in CASES:
+        g = graph_for(family, n)
+        starts = dispersed_random(g, k, seed=n + k)
+        labels = assign_labels(k, n, seed=k)
+        with_k = run_gathering(
+            "uxs+known-k", g, starts, labels, lambda: known_k_gathering_program(k)
+        )
+        without = run_gathering(
+            "uxs", g, starts, labels, lambda: uxs_gathering_program()
+        )
+        assert with_k.detected and without.detected
+        rows.append(
+            {
+                "family": family,
+                "n": n,
+                "k": k,
+                "rounds_known_k": with_k.rounds,
+                "rounds_unknown_k": without.rounds,
+                "tail_known_k": with_k.rounds - with_k.first_gather_round,
+                "tail_unknown_k": without.rounds - without.first_gather_round,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E11")
+def test_e11_known_k_ablation(bench_once):
+    rows = bench_once(run_sweep)
+    print_experiment("E11 - extension: census detection when k is known", rows)
+    for r in rows:
+        assert r["tail_known_k"] <= 2
+        assert r["tail_unknown_k"] > 10 * max(r["tail_known_k"], 1)
+        assert r["rounds_known_k"] <= r["rounds_unknown_k"]

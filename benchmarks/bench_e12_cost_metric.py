@@ -1,0 +1,29 @@
+"""E12 (extension) — the §1.4 *cost* metric: total edge traversals.
+
+The paper optimizes time (rounds) and mentions cost (total moves by all
+robots) as the literature's other currency.  This experiment measures both
+on identical many-robot configurations: ``Faster-Gathering`` must win on
+cost too in its regime — its movement is a handful of token explorations
+plus one sweep (``O(n·m)`` moves by one finder), whereas the UXS baseline
+has *every* free robot walking full exploration sequences for every 1-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import cost_sweep
+
+from conftest import print_experiment
+
+
+@pytest.mark.benchmark(group="E12")
+def test_e12_cost_metric(bench_once):
+    rows = bench_once(lambda: cost_sweep(ns=(9, 12, 15)))
+    print_experiment("E12 - extension: the cost metric (total moves)", rows)
+    for r in rows:
+        assert r["faster_moves"] < r["tz_moves"], r
+    # the gap widens with n (the baseline's exploration volume scales with
+    # T(n) per robot; Faster-Gathering's with one finder's n*m)
+    ratios = [r["moves_ratio_tz/faster"] for r in rows]
+    assert ratios[-1] > ratios[0]

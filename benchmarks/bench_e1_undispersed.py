@@ -1,0 +1,86 @@
+"""E1 — Theorem 8: ``Undispersed-Gathering`` in O(n^3) rounds.
+
+Sweeps ``n`` over several graph families with undispersed placements and
+checks:
+
+* gathering with detection always succeeds;
+* the round count equals the oblivious schedule ``R(n) = Θ(n^3)`` (the
+  algorithm *is* its schedule — termination is counter-based), so the
+  measured log–log slope is ~3;
+* the real work (max moves by any robot, dominated by the finder's Phase-1
+  token exploration) stays within the O(n·m) budget that justifies R1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import assign_labels, run_gathering, undispersed_placement
+from repro.analysis.fitting import slope_within
+from repro.core import bounds
+from repro.core.undispersed import undispersed_gathering_program
+from repro.graphs import generators as gg
+
+from conftest import print_experiment
+
+NS = [8, 12, 16, 24]
+K = 4
+
+
+def graph_for(family: str, n: int):
+    if family == "ring":
+        return gg.ring(n)
+    if family == "erdos_renyi":
+        return gg.erdos_renyi(n, seed=n)
+    if family == "random_tree":
+        return gg.random_tree(n, seed=n)
+    if family == "complete":
+        return gg.complete(n)
+    raise ValueError(family)
+
+
+def run_sweep():
+    rows = []
+    for family in ("ring", "erdos_renyi", "random_tree", "complete"):
+        for n in NS:
+            g = graph_for(family, n)
+            starts = undispersed_placement(g, K, seed=n)
+            labels = assign_labels(K, n, seed=n)
+            rec = run_gathering(
+                f"undispersed/{family}", g, starts, labels,
+                lambda: undispersed_gathering_program(), uses_uxs=False,
+            )
+            assert rec.gathered and rec.detected, (family, n)
+            rows.append(
+                {
+                    "family": family,
+                    "n": n,
+                    "m": rec.m,
+                    "k": rec.k,
+                    "rounds": rec.rounds,
+                    "bound_R(n)": bounds.undispersed_rounds(n),
+                    "max_moves": rec.max_moves,
+                    "detected": rec.detected,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="E1")
+def test_e1_undispersed_gathering_shape(bench_once):
+    rows = bench_once(run_sweep)
+    print_experiment("E1 - Undispersed-Gathering (Theorem 8: O(n^3))", rows)
+
+    for family in ("ring", "erdos_renyi", "random_tree", "complete"):
+        fam_rows = [r for r in rows if r["family"] == family]
+        ns = [r["n"] for r in fam_rows]
+        rounds = [r["rounds"] for r in fam_rows]
+        ok, slope = slope_within(ns, rounds, claimed=3.0)
+        print(f"  {family}: rounds slope = {slope:.2f} (claimed <= 3)")
+        assert ok, f"E1 shape violated for {family}: slope {slope:.2f} > 3.4"
+        # schedule-exactness: rounds == R(n) + 1 every time
+        for r in fam_rows:
+            assert r["rounds"] == r["bound_R(n)"] + 1
+        # real work is well below the schedule (the paper's slack)
+        for r in fam_rows:
+            assert r["max_moves"] <= r["bound_R(n)"]

@@ -1,0 +1,75 @@
+"""E2 — Lemmas 9-10: ``i-Hop-Meeting`` reaches an undispersed configuration
+in ``O(n^i log n)`` rounds (two robots at exact hop distance ``i``).
+
+The procedure is an oblivious schedule of ``schedule_bits(n)`` cycles of
+``T(i) = Σ 2(n-1)^j`` rounds, so the round count is formula-exact; the
+interesting measured quantities are (a) that the designated pair really is
+assembled, (b) the round of the *first meeting* (well inside the schedule),
+and (c) the log–log slope of the schedule in ``n`` matching the claimed
+exponent ``i``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import dispersed_with_pair_distance
+from repro.analysis.fitting import loglog_slope
+from repro.core import bounds
+from repro.core.hop_meeting import hop_meeting_program
+from repro.graphs import generators as gg
+from tests.conftest import run_world
+
+from conftest import print_experiment
+
+RING_NS = [8, 12, 16]
+DISTANCES = [1, 2, 3, 4, 5]
+
+
+def run_sweep():
+    rows = []
+    for i in DISTANCES:
+        for n in RING_NS:
+            g = gg.ring(n)
+            if 2 * i > n:
+                continue
+            starts = [0, i]
+            labels = [5, 9]
+            res = run_world(g, starts, labels, hop_meeting_program(i))
+            positions = list(res.positions.values())
+            undispersed = len(set(positions)) < len(positions)
+            assert undispersed, f"i={i}, n={n}: pair not assembled"
+            rows.append(
+                {
+                    "i": i,
+                    "n": n,
+                    "rounds": res.rounds,
+                    "bound_T(i)*bits": bounds.hop_meeting_rounds(i, n),
+                    "first_meet": res.metrics.first_gather_round,
+                    "max_moves": res.metrics.max_moves,
+                    "assembled": undispersed,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="E2")
+def test_e2_hop_meeting_shape(bench_once):
+    rows = bench_once(run_sweep)
+    print_experiment(
+        "E2 - i-Hop-Meeting (Lemmas 9-10: O(n^i log n) on rings)", rows
+    )
+    for i in DISTANCES:
+        i_rows = [r for r in rows if r["i"] == i and r["n"] in RING_NS]
+        if len(i_rows) < 2:
+            continue
+        ns = [r["n"] for r in i_rows]
+        rounds = [r["rounds"] for r in i_rows]
+        slope = loglog_slope(ns, rounds)
+        print(f"  i={i}: schedule slope = {slope:.2f} (claimed ~{i}, log factor adds drift)")
+        # the n^i term dominates: slope within [i-1, i+0.8] for these sizes
+        assert i - 1.0 <= slope <= i + 0.8, f"E2 slope off for i={i}: {slope:.2f}"
+        # meeting always happens well before the schedule ends
+        for r in i_rows:
+            assert r["first_meet"] is not None
+            assert r["first_meet"] < r["rounds"]

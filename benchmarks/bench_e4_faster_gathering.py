@@ -1,0 +1,103 @@
+"""E4 — Theorem 12: ``Faster-Gathering`` staged complexity by initial pair
+distance.
+
+For each controlled minimum pair distance ``i`` (0 = undispersed, 1..5 =
+dispersed with a pair exactly ``i`` apart, plus a far-apart configuration)
+the algorithm must finish by the step the theorem assigns:
+
+* ``i ∈ {0, 1, 2}`` → within the ``O(n^3)`` boundary (steps 1-3);
+* ``i ∈ {3, 4}``    → within the ``O(n^4 log n)`` boundary (steps 4-5);
+* ``i = 5``         → within the step-6 boundary (`Õ(n^5)`-ish);
+* beyond 5          → the UXS fallback (step 7) handles it.
+
+Rows report the gathering step, round counts and the matching boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    assign_labels,
+    dispersed_with_pair_distance,
+    run_gathering,
+    undispersed_placement,
+)
+from repro.core import bounds
+from repro.core.faster_gathering import faster_gathering_program
+from repro.graphs import generators as gg
+
+from conftest import print_experiment
+
+N = 14
+K = 3
+
+
+def placement_for(i: int, g):
+    if i == 0:
+        return undispersed_placement(g, K, seed=7)
+    return dispersed_with_pair_distance(g, min(K, 2 if i >= 3 else K), i, seed=3)
+
+
+def run_sweep():
+    g = gg.ring(N)
+    boundaries = bounds.faster_gathering_boundaries(N)
+    rows = []
+    for i in range(0, 6):
+        starts = placement_for(i, g)
+        labels = assign_labels(len(starts), N, seed=i + 1)
+        rec = run_gathering(
+            "faster", g, starts, labels, lambda: faster_gathering_program()
+        )
+        assert rec.gathered and rec.detected, f"distance {i}"
+        step = rec.extra.get("gathered_at_step")
+        expected_step = i + 1
+        rows.append(
+            {
+                "pair_dist": i,
+                "k": rec.k,
+                "gathered_at_step": step,
+                "step_bound": expected_step,
+                "rounds": rec.rounds,
+                "boundary": boundaries[min(expected_step, 6) - 1],
+                "detected": rec.detected,
+            }
+        )
+    # far apart: two robots at antipodes of a path -> UXS fallback
+    gp = gg.path(16)
+    rec = run_gathering(
+        "faster", gp, [0, 15], [5, 9], lambda: faster_gathering_program()
+    )
+    assert rec.gathered and rec.detected
+    rows.append(
+        {
+            "pair_dist": 15,
+            "k": 2,
+            "gathered_at_step": rec.extra.get("gathered_at_step", 7),
+            "step_bound": 7,
+            "rounds": rec.rounds,
+            "boundary": None,
+            "detected": rec.detected,
+        }
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="E4")
+def test_e4_staged_complexity(bench_once):
+    rows = bench_once(run_sweep)
+    print_experiment(
+        "E4 - Faster-Gathering staged complexity (Theorem 12)", rows
+    )
+    for r in rows:
+        assert r["detected"]
+        if r["pair_dist"] <= 5:
+            # gathered no later than the step the theorem assigns
+            assert r["gathered_at_step"] <= r["step_bound"], r
+            assert r["rounds"] <= r["boundary"] + 1, r
+    # rounds must be monotone in the gathering step (later steps cost more)
+    staged = [r for r in rows if r["pair_dist"] <= 5]
+    staged.sort(key=lambda r: r["gathered_at_step"])
+    for a, b in zip(staged, staged[1:]):
+        if a["gathered_at_step"] < b["gathered_at_step"]:
+            assert a["rounds"] < b["rounds"]

@@ -1,0 +1,89 @@
+"""E5 — Theorem 16: the headline regime table.
+
+For each ``n`` and each ``k`` regime (``k >= ⌊n/2⌋+1``, ``⌊n/3⌋+1 <= k <
+⌊n/2⌋+1``, ``k < ⌊n/3⌋+1``), adversarially scattered robots are gathered
+with detection, and the measured rounds respect the regime boundaries:
+
+* regime (i) finishes within the ``O(n^3)`` boundary (step 3);
+* regime (ii) within the ``O(n^4 log n)`` boundary (step 5);
+* regime ordering is strict for matched ``n``: rounds(i) <= rounds(ii) <=
+  rounds(iii) — the "power of many robots" in one line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import adversarial_scatter, assign_labels, min_pairwise_distance, run_gathering
+from repro.analysis.experiments import regime_for
+from repro.core import bounds
+from repro.core.faster_gathering import faster_gathering_program
+from repro.graphs import generators as gg
+
+from conftest import print_experiment
+
+NS = [9, 12, 15]
+
+
+def k_for(regime: str, n: int) -> int:
+    if regime == "n3":
+        return n // 2 + 1
+    if regime == "n4logn":
+        return n // 3 + 1
+    return 2  # the hardest small-k case
+
+
+def run_sweep():
+    rows = []
+    for n in NS:
+        g = gg.ring(n)
+        boundaries = bounds.faster_gathering_boundaries(n)
+        for regime in ("n3", "n4logn", "n5"):
+            k = k_for(regime, n)
+            assert regime_for(k, n) == regime
+            # the adversary scatters as widely as it can (best of 3 seeds)
+            best = None
+            for seed in range(3):
+                starts = adversarial_scatter(g, k, seed=seed)
+                d = min_pairwise_distance(g, starts)
+                if best is None or d > best[1]:
+                    best = (starts, d)
+            starts, dist = best
+            labels = assign_labels(k, n, seed=n + k)
+            rec = run_gathering(
+                "faster", g, starts, labels, lambda: faster_gathering_program()
+            )
+            assert rec.gathered and rec.detected, (n, regime)
+            rows.append(
+                {
+                    "n": n,
+                    "regime": regime,
+                    "k": k,
+                    "scatter_dist": dist,
+                    "rounds": rec.rounds,
+                    "bound_step3": boundaries[2],
+                    "bound_step5": boundaries[4],
+                    "detected": rec.detected,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="E5")
+def test_e5_regime_table(bench_once):
+    rows = bench_once(run_sweep)
+    print_experiment("E5 - Theorem 16 regime table (the headline result)", rows)
+    for n in NS:
+        by_regime = {r["regime"]: r for r in rows if r["n"] == n}
+        # Lemma 15 guarantees the distances, Theorem 12 the boundaries:
+        assert by_regime["n3"]["scatter_dist"] <= 2
+        assert by_regime["n3"]["rounds"] <= by_regime["n3"]["bound_step3"] + 1
+        assert by_regime["n4logn"]["scatter_dist"] <= 4
+        assert by_regime["n4logn"]["rounds"] <= by_regime["n4logn"]["bound_step5"] + 1
+        # strict regime ordering for matched n (allow ties when the adversary
+        # fails to exploit the smaller k)
+        assert (
+            by_regime["n3"]["rounds"]
+            <= by_regime["n4logn"]["rounds"]
+            <= by_regime["n5"]["rounds"]
+        ), f"regime ordering violated for n={n}"

@@ -1,0 +1,69 @@
+"""E6 — Lemma 15: ``⌊n/c⌋ + 1`` robots ⇒ some pair within ``2c - 2`` hops.
+
+The structural lemma behind Theorem 16's regimes.  The adversary (greedy
+farthest-point scatter, best of several seeds) attacks the bound on every
+graph family; rows report the best distance the adversary achieved against
+the bound.  The bound must never be violated, and on path-like graphs it
+should be approached (within the greedy scatterer's 2-approximation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import adversarial_scatter, min_pairwise_distance
+from repro.graphs import generators as gg
+
+from conftest import print_experiment
+
+FAMILIES = [
+    ("ring", lambda: gg.ring(24)),
+    ("path", lambda: gg.path(25)),
+    ("grid", lambda: gg.grid(5, 5)),
+    ("random_tree", lambda: gg.random_tree(24, seed=5)),
+    ("erdos_renyi", lambda: gg.erdos_renyi(24, seed=7)),
+    ("random_regular", lambda: gg.random_regular(24, 3, seed=3)),
+    ("hypercube", lambda: gg.hypercube(4)),
+    ("complete", lambda: gg.complete(16)),
+]
+
+CS = [2, 3, 4]
+
+
+def run_sweep():
+    rows = []
+    for name, builder in FAMILIES:
+        g = builder()
+        for c in CS:
+            k = g.n // c + 1
+            if k < 2 or k > g.n:
+                continue
+            best = 0
+            for seed in range(6):
+                starts = adversarial_scatter(g, k, seed=seed)
+                d = min_pairwise_distance(g, starts)
+                best = max(best, d)
+            rows.append(
+                {
+                    "family": name,
+                    "n": g.n,
+                    "c": c,
+                    "k": k,
+                    "adversary_best": best,
+                    "bound_2c-2": 2 * c - 2,
+                    "holds": best <= 2 * c - 2,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="E6")
+def test_e6_lemma15(bench_once):
+    rows = bench_once(run_sweep)
+    print_experiment("E6 - Lemma 15 proximity bound under adversarial scatter", rows)
+    for r in rows:
+        assert r["holds"], f"Lemma 15 violated: {r}"
+    # tightness: on the path, c=2 should let the adversary reach distance
+    # 2 = 2c-2 exactly (alternating placement)
+    path_rows = [r for r in rows if r["family"] == "path" and r["c"] == 2]
+    assert path_rows and path_rows[0]["adversary_best"] >= 1

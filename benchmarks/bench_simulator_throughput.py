@@ -1,0 +1,77 @@
+"""Simulator throughput — wall-clock regression benchmarks.
+
+Unlike E1–E13 (which measure *simulated rounds*, the paper's metric), these
+benchmark the simulator itself: robot-activations per second on movement-
+heavy and wait-heavy workloads.  They exist so that future changes to the
+scheduler (the hottest loop in the repo) show up as wall-clock regressions
+in ``--benchmark-compare`` runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.placement import assign_labels, dispersed_random, undispersed_placement
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_throughput_movement_heavy(benchmark):
+    """UXS gathering: explorers move every round (scheduler's hot path)."""
+    g = gg.erdos_renyi(10, seed=2)
+    starts = dispersed_random(g, 4, seed=1)
+    labels = assign_labels(4, 10, seed=1)
+
+    def run():
+        specs = [RobotSpec(l, s, uxs_gathering_program()) for l, s in zip(labels, starts)]
+        return World(g, specs).run()
+
+    result = benchmark(run)
+    assert result.gathered and result.detected
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_throughput_wait_heavy(benchmark):
+    """Undispersed gathering: dominated by padded waits — exercises the
+    fast-forwarder (wall-clock should be tiny despite huge round counts)."""
+    g = gg.ring(16)
+    starts = undispersed_placement(g, 4, seed=2)
+    labels = assign_labels(4, 16, seed=2)
+
+    def run():
+        specs = [
+            RobotSpec(l, s, undispersed_gathering_program())
+            for l, s in zip(labels, starts)
+        ]
+        return World(g, specs).run()
+
+    result = benchmark(run)
+    assert result.gathered
+    # the whole point of the fast-forwarder: tens of thousands of simulated
+    # rounds, a few hundred executed
+    assert result.metrics.rounds > 20 * result.metrics.rounds_executed
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_throughput_many_followers(benchmark):
+    """Follow-chain resolution with a large entourage."""
+    g = gg.ring(10)
+    k = 9
+    starts = dispersed_random(g, k, seed=3)
+    labels = assign_labels(k, 10, seed=3)
+
+    def run():
+        from repro.core.faster_gathering import faster_gathering_program
+
+        specs = [
+            RobotSpec(l, s, faster_gathering_program())
+            for l, s in zip(labels, starts)
+        ]
+        return World(g, specs).run()
+
+    result = benchmark(run)
+    assert result.gathered and result.detected

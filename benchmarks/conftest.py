@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md's
+index (the paper has no empirical tables/figures; the experiments check the
+theorem-level claims' *shapes*).  Conventions:
+
+* simulated **rounds** are the paper's cost metric; wall-clock time is
+  tracked by pytest-benchmark for regression purposes only;
+* every module prints its rows through
+  :func:`repro.analysis.tables.render_table` so ``--benchmark-only`` output
+  doubles as the EXPERIMENTS.md record;
+* shape assertions (log–log slopes, regime ordering, who-wins) are real
+  ``assert``s — a failed reproduction fails the bench suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import pytest
+
+
+def print_experiment(title: str, rows: List[dict], columns: Sequence[str] | None = None):
+    from repro.analysis.tables import render_table
+
+    print()
+    print(render_table(rows, columns=columns, title=title))
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a row-producing callable exactly once under pytest-benchmark.
+
+    Simulation results are deterministic; repeating iterations would only
+    re-measure wall time, so one round is enough and keeps the suite quick.
+    """
+
+    def runner(fn: Callable[[], object]):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

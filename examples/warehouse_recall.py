@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Warehouse recall: many robots, fast gathering — the paper's motivation.
+
+Scenario.  A fleet of floor robots has just finished a coverage task in a
+warehouse (aisles modeled as a grid graph) and sits scattered across the
+floor, one robot per cell.  They must now regroup at a single cell for
+maintenance — and every robot must *know* when regrouping is complete so it
+can power down (gathering **with detection**).
+
+This is exactly the "power of many robots" setting: with ``k >= ⌊n/2⌋+1``
+robots, Lemma 15 guarantees two of them ended up within 2 hops, so
+``Faster-Gathering`` completes in its O(n^3) regime — no matter how
+adversarially the coverage task scattered them.
+
+The script sweeps fleet sizes over the three regimes of Theorem 16 and
+prints the measured regrouping times.
+
+Run:  python examples/warehouse_recall.py
+"""
+
+from repro import RobotSpec, World, bounds, faster_gathering_program, generators
+from repro.analysis import adversarial_scatter, assign_labels, min_pairwise_distance, render_table
+from repro.analysis.experiments import regime_for
+
+
+def recall(graph, k: int, seed: int):
+    starts = adversarial_scatter(graph, k, seed=seed)
+    labels = assign_labels(k, graph.n, seed=seed)
+    robots = [
+        RobotSpec(label=l, start=s, factory=faster_gathering_program())
+        for l, s in zip(labels, starts)
+    ]
+    result = World(graph, robots).run()
+    assert result.gathered and result.detected
+    return starts, result
+
+
+def main() -> None:
+    rows = []
+    graph = generators.grid(4, 5)  # a 20-cell warehouse floor
+    n = graph.n
+    print(f"warehouse floor: {4}x{5} grid, n={n} cells\n")
+
+    for k in (n // 2 + 1, n // 3 + 1, 3):
+        starts, result = recall(graph, k, seed=7)
+        regime = regime_for(k, n)
+        step = next(iter(result.stats.values())).get("gathered_at_step")
+        rows.append(
+            {
+                "fleet size k": k,
+                "regime": {"n3": "O(n^3)", "n4logn": "O(n^4 log n)", "n5": "~O(n^5)"}[regime],
+                "scatter min-dist": min_pairwise_distance(graph, starts),
+                "recall rounds": result.rounds,
+                "gathered at step": step if step is not None else "UXS fallback",
+                "depot cell": result.final_node,
+            }
+        )
+
+    print(render_table(rows, title="Fleet recall times by fleet size (Theorem 16 in action)"))
+    print()
+    print("Reading: the larger the fleet, the tighter the adversary is")
+    print("squeezed by Lemma 15, and the earlier Faster-Gathering's staged")
+    print("schedule can stop — many robots make gathering *faster*.")
+
+
+if __name__ == "__main__":
+    main()

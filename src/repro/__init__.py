@@ -1,0 +1,66 @@
+"""repro — Fast Deterministic Gathering with Detection on Arbitrary Graphs.
+
+A faithful, self-contained reproduction of Molla, Mondal & Moses Jr.,
+*"Fast Deterministic Gathering with Detection on Arbitrary Graphs: The Power
+of Many Robots"* (IPDPS 2023, arXiv:2305.01753): the synchronous
+Face-to-Face mobile-robot model, the ``Faster-Gathering`` algorithm and all
+of its substrates (anonymous port-labeled graphs, a round-level simulator,
+universal exploration sequences, token-based map construction), the
+baselines it is compared against, and a benchmark harness regenerating
+every theorem-level result.
+
+Quickstart::
+
+    from repro import World, RobotSpec, faster_gathering_program, generators
+
+    g = generators.ring(12)
+    robots = [RobotSpec(label=5 * i + 3, start=2 * i, factory=faster_gathering_program())
+              for i in range(7)]
+    result = World(g, robots).run()
+    assert result.gathered and result.detected
+    print(result.rounds, "rounds")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.graphs import PortGraph, Edge, generators
+from repro.sim import (
+    World,
+    RunResult,
+    RobotSpec,
+    RobotContext,
+    Action,
+    Observation,
+    TraceRecorder,
+)
+from repro.core import bounds
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.hop_meeting import hop_meeting_program
+from repro.core.faster_gathering import faster_gathering_program
+from repro.uxs import practical_plan, exhaustive_plan, UxsPlan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PortGraph",
+    "Edge",
+    "generators",
+    "World",
+    "RunResult",
+    "RobotSpec",
+    "RobotContext",
+    "Action",
+    "Observation",
+    "TraceRecorder",
+    "bounds",
+    "uxs_gathering_program",
+    "undispersed_gathering_program",
+    "hop_meeting_program",
+    "faster_gathering_program",
+    "practical_plan",
+    "exhaustive_plan",
+    "UxsPlan",
+    "__version__",
+]

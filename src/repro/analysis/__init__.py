@@ -1,0 +1,38 @@
+"""Experiment harness: placements, labels, runners, fitting, tables.
+
+This is the layer the benchmarks and EXPERIMENTS.md are built on.  It owns
+everything the *adversary* controls in the paper's model (initial placement
+and label assignment), the mechanics of running an algorithm over a sweep
+of graphs, and the post-processing that turns round counts into the
+paper-shaped tables (regime classification, log–log growth fitting).
+"""
+
+from repro.analysis.placement import (
+    undispersed_placement,
+    dispersed_random,
+    dispersed_with_pair_distance,
+    adversarial_scatter,
+    min_pairwise_distance,
+    assign_labels,
+)
+from repro.analysis.experiments import GatheringRun, run_gathering, regime_for
+from repro.analysis.fitting import loglog_slope
+from repro.analysis.tables import render_table
+from repro.analysis import sweeps
+from repro.analysis.report import generate_report
+
+__all__ = [
+    "undispersed_placement",
+    "dispersed_random",
+    "dispersed_with_pair_distance",
+    "adversarial_scatter",
+    "min_pairwise_distance",
+    "assign_labels",
+    "GatheringRun",
+    "run_gathering",
+    "regime_for",
+    "loglog_slope",
+    "render_table",
+    "sweeps",
+    "generate_report",
+]

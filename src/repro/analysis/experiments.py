@@ -1,0 +1,143 @@
+"""Running gathering experiments and classifying their regimes.
+
+:func:`run_gathering` is the one-stop runner used by every benchmark: it
+builds the world, pre-verifies UXS coverage when the algorithm may fall
+back to exploration sequences (refusing to report results on an uncovered
+instance — see DESIGN.md S1), runs to completion, validates the
+gathering-with-detection contract, and returns a flat record.
+
+:func:`regime_for` encodes Theorem 16's regime table: given ``k`` and ``n``
+it names the bound the paper promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.analysis.placement import min_pairwise_distance
+from repro.graphs.port_graph import PortGraph
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+from repro.uxs.generators import practical_plan
+from repro.uxs.verify import UxsCertificationError, covers_all_starts
+
+__all__ = ["GatheringRun", "run_gathering", "regime_for", "verify_uxs_for_graph"]
+
+
+@dataclass
+class GatheringRun:
+    """Flat record of one gathering run (benchmark row material)."""
+
+    algorithm: str
+    n: int
+    m: int
+    k: int
+    rounds: int
+    total_moves: int
+    max_moves: int
+    gathered: bool
+    detected: bool
+    first_gather_round: Optional[int]
+    min_pair_distance: Optional[int]
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, Any]:
+        row = {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "m": self.m,
+            "k": self.k,
+            "dist": self.min_pair_distance,
+            "rounds": self.rounds,
+            "moves": self.total_moves,
+            "gathered": self.gathered,
+            "detected": self.detected,
+            "first_gather": self.first_gather_round,
+        }
+        row.update(self.extra)
+        return row
+
+
+def verify_uxs_for_graph(graph: PortGraph) -> None:
+    """Assert the certified practical plan covers this experiment graph.
+
+    Called by :func:`run_gathering` for UXS-capable algorithms; raising here
+    (instead of running anyway) keeps reported numbers honest — a schedule
+    whose exploration property is broken would produce garbage rounds, not
+    a valid reproduction.
+    """
+    plan = practical_plan(graph.n)
+    if plan.T and not covers_all_starts(graph, plan.offsets):
+        raise UxsCertificationError(
+            f"practical UXS plan for n={graph.n} does not cover this graph; "
+            f"raise the certification safety factor"
+        )
+
+
+def run_gathering(
+    algorithm: str,
+    graph: PortGraph,
+    starts: Sequence[int],
+    labels: Sequence[int],
+    factory_for: Callable[[], Any],
+    knowledge: Optional[Dict[str, Any]] = None,
+    uses_uxs: bool = True,
+    stop_on_gather: bool = False,
+    max_rounds: Optional[int] = None,
+    strict: bool = True,
+) -> GatheringRun:
+    """Run one configured gathering instance and return its record.
+
+    ``factory_for()`` must return a fresh program factory per robot (program
+    factories from :mod:`repro.core` are stateless, so passing e.g.
+    ``lambda: faster_gathering_program()`` or a pre-built factory works).
+    """
+    if len(starts) != len(labels):
+        raise ValueError("starts and labels must align")
+    if uses_uxs:
+        verify_uxs_for_graph(graph)
+    factory = factory_for()
+    specs = [
+        RobotSpec(label=l, start=s, factory=factory, knowledge=dict(knowledge or {}))
+        for l, s in zip(labels, starts)
+    ]
+    world = World(graph, specs, strict=strict)
+    kwargs: Dict[str, Any] = {"stop_on_gather": stop_on_gather}
+    if max_rounds is not None:
+        kwargs["max_rounds"] = max_rounds
+    result = world.run(**kwargs)
+    extra: Dict[str, Any] = {}
+    for stats in result.stats.values():
+        if "gathered_at_step" in stats:
+            extra["gathered_at_step"] = stats["gathered_at_step"]
+        if "map_memory_bits" in stats:
+            extra["map_memory_bits"] = stats["map_memory_bits"]
+    return GatheringRun(
+        algorithm=algorithm,
+        n=graph.n,
+        m=graph.m,
+        k=len(starts),
+        rounds=result.rounds,
+        total_moves=result.metrics.total_moves,
+        max_moves=result.metrics.max_moves,
+        gathered=result.gathered,
+        detected=result.detected,
+        first_gather_round=result.metrics.first_gather_round,
+        min_pair_distance=min_pairwise_distance(graph, list(starts)),
+        extra=extra,
+    )
+
+
+def regime_for(k: int, n: int) -> str:
+    """Theorem 16's regime for ``k`` robots on ``n`` nodes.
+
+    ``"n3"`` — ``k >= ⌊n/2⌋+1`` (O(n³));
+    ``"n4logn"`` — ``⌊n/3⌋+1 <= k < ⌊n/2⌋+1`` (O(n⁴ log n));
+    ``"n5"`` — otherwise (Õ(n⁵)).
+    """
+    if k >= n // 2 + 1:
+        return "n3"
+    if k >= n // 3 + 1:
+        return "n4logn"
+    return "n5"

@@ -1,0 +1,45 @@
+"""Growth-shape fitting.
+
+The reproduction criterion for round bounds is *shape*, not constants: a
+claimed ``O(n^p)`` bound is "reproduced" when the measured log–log slope
+over the swept ``n`` does not exceed ``p`` by more than a tolerance (upper
+bounds may of course come in under — trees gather much faster than the
+worst case, and that is fine).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["loglog_slope", "slope_within"]
+
+
+def loglog_slope(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log n``.
+
+    Requires at least two distinct positive ``n`` and positive ``y``.
+    """
+    if len(ns) != len(ys):
+        raise ValueError("ns and ys must align")
+    if len(ns) < 2:
+        raise ValueError("need at least two points")
+    xs = np.log([float(v) for v in ns])
+    if np.allclose(xs.min(), xs.max()):
+        raise ValueError("need at least two distinct n values")
+    vs = np.log([float(v) for v in ys])
+    slope, _intercept = np.polyfit(xs, vs, 1)
+    return float(slope)
+
+
+def slope_within(
+    ns: Sequence[float], ys: Sequence[float], claimed: float, tol: float = 0.4
+) -> Tuple[bool, float]:
+    """Check an upper-bound claim: measured slope <= claimed + tol.
+
+    Returns ``(ok, measured_slope)``.
+    """
+    s = loglog_slope(ns, ys)
+    return (s <= claimed + tol or math.isclose(s, claimed + tol)), s

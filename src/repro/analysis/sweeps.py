@@ -1,0 +1,188 @@
+"""Canned, reusable experiment sweeps.
+
+The benchmark modules in ``benchmarks/`` print tables and assert shapes;
+this module holds the *library-facing* versions of the same sweeps so that
+users (and ``python -m repro report``) can regenerate the paper's results
+programmatically without pytest.
+
+Every sweep returns a list of plain dict rows (table-ready) and is
+deterministic for fixed arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.experiments import regime_for, run_gathering
+from repro.analysis.fitting import loglog_slope
+from repro.analysis.placement import (
+    adversarial_scatter,
+    assign_labels,
+    dispersed_with_pair_distance,
+    min_pairwise_distance,
+    undispersed_placement,
+)
+from repro.baselines import tz_rendezvous_program
+from repro.core import bounds
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+
+__all__ = [
+    "undispersed_sweep",
+    "regime_sweep",
+    "staged_distance_sweep",
+    "lemma15_sweep",
+    "detection_tail_sweep",
+    "cost_sweep",
+]
+
+
+def undispersed_sweep(ns: Sequence[int] = (8, 12, 16), k: int = 4) -> Dict[str, Any]:
+    """Theorem 8 sweep (E1 shape): rounds vs n on rings, with slope."""
+    rows: List[Dict[str, Any]] = []
+    for n in ns:
+        g = gg.ring(n)
+        rec = run_gathering(
+            "undispersed", g,
+            undispersed_placement(g, k, seed=n),
+            assign_labels(k, n, seed=n),
+            lambda: undispersed_gathering_program(),
+            uses_uxs=False,
+        )
+        rows.append({"n": n, "rounds": rec.rounds, "detected": rec.detected,
+                     "max_moves": rec.max_moves})
+    slope = loglog_slope([r["n"] for r in rows], [r["rounds"] for r in rows])
+    return {"rows": rows, "slope": slope, "claimed_exponent": 3.0}
+
+
+def regime_sweep(ns: Sequence[int] = (9, 12)) -> List[Dict[str, Any]]:
+    """Theorem 16's regime table (E5) as data."""
+    rows = []
+    for n in ns:
+        g = gg.ring(n)
+        for regime, k in (("n3", n // 2 + 1), ("n4logn", n // 3 + 1), ("n5", 2)):
+            assert regime_for(k, n) == regime
+            starts = adversarial_scatter(g, k, seed=1)
+            rec = run_gathering(
+                "faster", g, starts, assign_labels(k, n, seed=n + k),
+                lambda: faster_gathering_program(),
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "regime": regime,
+                    "k": k,
+                    "scatter_dist": min_pairwise_distance(g, starts),
+                    "rounds": rec.rounds,
+                    "detected": rec.detected,
+                }
+            )
+    return rows
+
+
+def staged_distance_sweep(n: int = 12, distances: Sequence[int] = (0, 1, 2, 3)) -> List[Dict[str, Any]]:
+    """Theorem 12's staged complexity (E4) as data."""
+    g = gg.ring(n)
+    boundaries = bounds.faster_gathering_boundaries(n)
+    rows = []
+    for d in distances:
+        if d == 0:
+            starts = undispersed_placement(g, 3, seed=7)
+        else:
+            starts = dispersed_with_pair_distance(g, 2, d, seed=3)
+        rec = run_gathering(
+            "faster", g, starts, assign_labels(len(starts), n, seed=d + 1),
+            lambda: faster_gathering_program(),
+        )
+        rows.append(
+            {
+                "pair_dist": d,
+                "gathered_at_step": rec.extra.get("gathered_at_step"),
+                "rounds": rec.rounds,
+                "boundary": boundaries[min(d, 5)],
+                "detected": rec.detected,
+            }
+        )
+    return rows
+
+
+def lemma15_sweep(c_values: Sequence[int] = (2, 3, 4), seeds: int = 4) -> List[Dict[str, Any]]:
+    """Lemma 15 adversary attack (E6) as data."""
+    rows = []
+    families = [
+        ("ring", gg.ring(24)),
+        ("path", gg.path(25)),
+        ("grid", gg.grid(5, 5)),
+        ("erdos_renyi", gg.erdos_renyi(24, seed=7)),
+    ]
+    for name, g in families:
+        for c in c_values:
+            k = g.n // c + 1
+            best = max(
+                min_pairwise_distance(g, adversarial_scatter(g, k, seed=s))
+                for s in range(seeds)
+            )
+            rows.append(
+                {
+                    "family": name,
+                    "c": c,
+                    "k": k,
+                    "adversary_best": best,
+                    "bound": 2 * c - 2,
+                    "holds": best <= 2 * c - 2,
+                }
+            )
+    return rows
+
+
+def detection_tail_sweep(n: int = 9, k: int = 3) -> List[Dict[str, Any]]:
+    """E10a as data: what detection costs on top of first-gather."""
+    rows = []
+    g = gg.ring(n)
+    from repro.analysis.placement import dispersed_random
+
+    starts = dispersed_random(g, k, seed=n)
+    labels = assign_labels(k, n, seed=k)
+    for name, fn in (
+        ("uxs", lambda: uxs_gathering_program()),
+        ("faster", lambda: faster_gathering_program()),
+    ):
+        rec = run_gathering(name, g, starts, labels, fn)
+        rows.append(
+            {
+                "algorithm": name,
+                "first_gather": rec.first_gather_round,
+                "termination": rec.rounds,
+                "tail": rec.rounds - (rec.first_gather_round or 0),
+            }
+        )
+    return rows
+
+
+def cost_sweep(ns: Sequence[int] = (9, 12), k_of=lambda n: n // 2 + 1) -> List[Dict[str, Any]]:
+    """The §1.4 *cost* metric (total edge traversals): Faster-Gathering vs
+    the TZ baseline on identical many-robot configurations (E12)."""
+    rows = []
+    for n in ns:
+        g = gg.ring(n)
+        k = k_of(n)
+        starts = adversarial_scatter(g, k, seed=2)
+        labels = assign_labels(k, n, seed=3)
+        fast = run_gathering("faster", g, starts, labels,
+                             lambda: faster_gathering_program())
+        base = run_gathering("tz", g, starts, labels,
+                             lambda: tz_rendezvous_program())
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "faster_moves": fast.total_moves,
+                "tz_moves": base.total_moves,
+                "faster_rounds": fast.rounds,
+                "tz_rounds": base.rounds,
+                "moves_ratio_tz/faster": base.total_moves / max(fast.total_moves, 1),
+            }
+        )
+    return rows

@@ -1,0 +1,53 @@
+"""Paper-style ASCII tables for benchmark output.
+
+The benchmarks print their rows through :func:`render_table` so that
+``pytest benchmarks/ --benchmark-only`` output is directly comparable with
+the experiment index in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v: Any) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    if isinstance(v, int) and abs(v) >= 1_000_000:
+        return f"{v:.3g}"
+    return str(v)
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells: List[List[str]] = [[format_value(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

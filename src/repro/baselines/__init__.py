@@ -1,0 +1,20 @@
+"""Baseline algorithms the paper compares against (§1.4).
+
+* :mod:`~repro.baselines.tz_rendezvous` — Ta-Shma–Zwick-style UXS
+  rendezvous: gathering **without** detection in ``Õ(n^5 log ℓ)`` (here on
+  the practical UXS plan, see DESIGN.md S1).  Structurally the §2.1
+  algorithm with the silent-wait termination disabled; the measurement of
+  interest is the first-gathered round.
+* :mod:`~repro.baselines.dessmark` — Dessmark et al.'s simultaneous-start
+  rendezvous idea: bit-scheduled wait/explore cycles over balls of
+  escalating radius, ``O(D·Δ^D·log ℓ)`` rounds — exponential in the initial
+  distance, which is exactly the weakness ``Faster-Gathering`` removes.
+* :mod:`~repro.baselines.random_walk` — seeded random-walk gathering, the
+  classic randomized contrast (not a paper claim; included for context).
+"""
+
+from repro.baselines.tz_rendezvous import tz_rendezvous_program
+from repro.baselines.dessmark import dessmark_program
+from repro.baselines.random_walk import random_walk_program
+
+__all__ = ["tz_rendezvous_program", "dessmark_program", "random_walk_program"]

@@ -1,0 +1,60 @@
+"""Dessmark et al.'s simultaneous-start rendezvous (``O(D·Δ^D·log ℓ)``).
+
+The paper's discussion (§1.3) pinpoints why this classic approach does not
+scale: with simultaneous start, two robots at distance ``D`` can find each
+other by bit-scheduled wait/explore cycles over balls of radius ``D`` — but
+the ball DFS costs ``Θ(Δ^D)`` per cycle, exponential in the distance.  Since
+``D`` is unknown, the radius escalates ``d = 1, 2, 3, ...``; the run ends
+when the robots meet (they can see co-location), giving the
+``O(D·Δ^D·log ℓ)`` shape for the distance-``D`` configuration.
+
+This is the direct ancestor of ``i-Hop-Meeting``; the difference is that
+the paper *caps* the radius at 5 (because beyond that UXS gathering is
+cheaper) and uses many-robots density (Lemma 15) to guarantee a small
+distance exists — this module exists so E7 can show the exponential
+blow-up being avoided.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hop_meeting import hop_meeting_phase
+from repro.sim.actions import Action
+from repro.sim.robot import RobotContext
+
+__all__ = ["dessmark_program"]
+
+
+def dessmark_program(max_radius: Optional[int] = None, max_degree: Optional[int] = None):
+    """Program factory: escalating-radius rendezvous.
+
+    ``max_radius`` caps the escalation (default ``n - 1``, enough to cover
+    any connected graph's diameter).  After each radius-``d`` schedule the
+    robot checks co-location and stops when met — correct *as rendezvous of
+    two robots*; for ``k > 2`` it stops at the first meeting, which is the
+    quantity E7 compares (the algorithm predates multi-robot composition).
+    """
+
+    def factory(ctx: RobotContext):
+        if max_degree is not None:
+            ctx.knowledge.setdefault("max_degree", max_degree)
+
+        def program(ctx=ctx):
+            obs = yield
+            if ctx.n == 1:
+                yield Action.terminate()
+                return
+            cap = max_radius if max_radius is not None else ctx.n - 1
+            for d in range(1, cap + 1):
+                obs = yield from hop_meeting_phase(ctx, obs, d, phase_start=obs.round)
+                if not obs.alone(ctx.label):
+                    ctx.stats["met_at_radius"] = d
+                    yield Action.terminate()
+                    return
+            ctx.stats["met_at_radius"] = None
+            yield Action.terminate()
+
+        return program(ctx)
+
+    return factory

@@ -1,0 +1,47 @@
+"""Random-walk gathering (randomized contrast baseline).
+
+Each robot performs an independent lazy random walk (stay with probability
+1/2, else a uniform port), seeded by its label so runs are reproducible.
+Expected meeting time for two walkers is polynomial; there is no detection
+mechanism whatsoever.  Runs use ``World.run(stop_on_gather=True)`` and read
+``metrics.first_gather_round``.
+
+This is *not* a claim from the paper — it contextualizes what the
+deterministic machinery buys over the naive randomized strategy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.actions import Action
+from repro.sim.robot import RobotContext
+
+__all__ = ["random_walk_program"]
+
+
+def random_walk_program(seed: int = 0, laziness: float = 0.5):
+    """Program factory: seeded lazy random walk, forever.
+
+    ``laziness`` is the per-round stay probability; the classic 1/2 avoids
+    parity traps on bipartite graphs (two walkers on a ring with odd offset
+    would otherwise never be co-located at round boundaries).
+    """
+    if not (0.0 <= laziness < 1.0):
+        raise ValueError("laziness must be in [0, 1)")
+
+    def factory(ctx: RobotContext):
+        def program(ctx=ctx):
+            obs = yield
+            rng = random.Random((seed << 32) ^ ctx.label)
+            card = {"following": None, "alg": "rw"}
+            while True:
+                if rng.random() < laziness or obs.degree == 0:
+                    obs = yield Action.stay(card=card)
+                else:
+                    obs = yield Action.move(rng.randrange(obs.degree), card=card)
+                card = None
+
+        return program(ctx)
+
+    return factory

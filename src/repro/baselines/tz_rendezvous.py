@@ -1,0 +1,26 @@
+"""Ta-Shma–Zwick-style UXS rendezvous (gathering *without* detection).
+
+The state-of-the-art deterministic gathering algorithm the paper improves
+on ([43] in the paper): robots interleave UXS explorations and waits driven
+by their ID bits until they coalesce.  Without a detection mechanism the
+robots cannot know gathering happened; experiments therefore measure the
+*first-gathered* round (``RunResult.metrics.first_gather_round``), and the
+schedule simply runs out afterwards.
+
+Implementation-wise this is the §2.1 machinery with ``detect=False`` — the
+honest way to isolate exactly the detection capability the paper adds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.uxs.sequence import UxsPlan
+
+__all__ = ["tz_rendezvous_program"]
+
+
+def tz_rendezvous_program(plan: Optional[UxsPlan] = None):
+    """Program factory: UXS gathering, no detection (measure first-gather)."""
+    return uxs_gathering_program(plan=plan, detect=False)

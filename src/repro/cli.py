@@ -1,0 +1,287 @@
+"""Command-line interface: run gathering experiments without writing code.
+
+Examples::
+
+    python -m repro families
+    python -m repro bounds --n 16
+    python -m repro plan --n 12
+    python -m repro run --family ring --n 12 --k 7 --algorithm faster
+    python -m repro run --family erdos_renyi --n 16 --k 5 \\
+        --placement scatter --labels adversarial_long --trace
+    python -m repro sweep --family ring --algorithm undispersed \\
+        --ns 8 12 16 24 --k 4
+
+The CLI is a thin shell over :mod:`repro.analysis`; anything it prints can
+be reproduced programmatically via :func:`repro.analysis.run_gathering`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.experiments import regime_for, run_gathering
+from repro.analysis.fitting import loglog_slope
+from repro.analysis.placement import (
+    adversarial_scatter,
+    assign_labels,
+    dispersed_random,
+    dispersed_with_pair_distance,
+    undispersed_placement,
+)
+from repro.analysis.tables import render_table
+from repro.baselines import dessmark_program, random_walk_program, tz_rendezvous_program
+from repro.core import bounds
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+
+__all__ = ["main"]
+
+ALGORITHMS: Dict[str, Callable[..., object]] = {
+    "faster": lambda args: faster_gathering_program(
+        max_degree=args.max_degree, hop_distance=args.hop_distance
+    ),
+    "undispersed": lambda args: undispersed_gathering_program(),
+    "uxs": lambda args: uxs_gathering_program(),
+    "tz": lambda args: tz_rendezvous_program(),
+    "dessmark": lambda args: dessmark_program(max_degree=args.max_degree),
+    "random_walk": lambda args: random_walk_program(seed=args.seed),
+}
+
+#: Algorithms whose schedules never enter a UXS phase (skip plan checks).
+NO_UXS = {"undispersed", "dessmark", "random_walk"}
+
+#: Algorithms without termination: measure first-gather instead.
+NO_DETECTION = {"tz", "random_walk"}
+
+
+def build_graph(args) -> object:
+    kwargs = {}
+    fn = gg.FAMILIES[args.family]
+    import inspect
+
+    sig = inspect.signature(fn)
+    if "n" in sig.parameters:
+        kwargs["n"] = args.n
+    if "rows" in sig.parameters:
+        kwargs["rows"] = args.rows or max(2, int(args.n**0.5))
+        kwargs["cols"] = args.cols or max(2, args.n // kwargs["rows"])
+    if "dim" in sig.parameters:
+        kwargs["dim"] = max(1, args.n.bit_length() - 1)
+    if "d" in sig.parameters:
+        kwargs["d"] = args.degree
+    if "seed" in sig.parameters:
+        kwargs["seed"] = args.seed
+    if "numbering" in sig.parameters:
+        kwargs["numbering"] = args.numbering
+    return fn(**kwargs)
+
+
+def build_placement(args, graph) -> List[int]:
+    if args.placement == "undispersed":
+        return undispersed_placement(graph, args.k, seed=args.seed)
+    if args.placement == "dispersed":
+        return dispersed_random(graph, args.k, seed=args.seed)
+    if args.placement == "scatter":
+        return adversarial_scatter(graph, args.k, seed=args.seed)
+    if args.placement == "pair-distance":
+        if args.pair_distance is None:
+            raise SystemExit("--pair-distance is required for this placement")
+        return dispersed_with_pair_distance(
+            graph, args.k, args.pair_distance, seed=args.seed
+        )
+    raise SystemExit(f"unknown placement {args.placement}")
+
+
+def cmd_families(_args) -> int:
+    rows = [{"family": name} for name in sorted(gg.FAMILIES)]
+    print(render_table(rows, title="graph families"))
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    n = args.n
+    rows = [
+        {"quantity": "schedule_bits(n)", "value": bounds.schedule_bits(n)},
+        {"quantity": "R1(n)  (Phase-1 budget)", "value": bounds.phase1_rounds(n)},
+        {"quantity": "R(n)   (Undispersed-Gathering)", "value": bounds.undispersed_rounds(n)},
+    ]
+    for i in range(1, 6):
+        rows.append(
+            {
+                "quantity": f"T({i})·bits  ({i}-Hop-Meeting)",
+                "value": bounds.hop_meeting_rounds(i, n, args.max_degree),
+            }
+        )
+    for step, e in enumerate(bounds.faster_gathering_boundaries(n, args.max_degree), 1):
+        rows.append({"quantity": f"Faster-Gathering E{step}", "value": e})
+    print(render_table(rows, title=f"schedule arithmetic for n={n}"
+                       + (f", Δ={args.max_degree}" if args.max_degree else "")))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.uxs.generators import certification_battery, practical_plan
+
+    plan = practical_plan(args.n)
+    battery = certification_battery(args.n)
+    print(f"practical UXS plan for n={args.n}:")
+    print(f"  length T = {plan.T}   provenance = {plan.provenance}")
+    print(f"  certified on {len(battery)} battery graphs from every start node")
+    print(f"  paper-exact padding would be Õ(n^5) ≈ {args.n ** 5}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(quick=not args.full)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_show(args) -> int:
+    graph = build_graph(args)
+    print(f"{args.family}: n={graph.n}, m={graph.m}, "
+          f"degrees {graph.min_degree}..{graph.max_degree}")
+    rows = []
+    for v in graph.nodes():
+        cells = [f"p{p}->{graph.neighbor(v, p)}" for p in graph.ports(v)]
+        rows.append({"node": v, "degree": graph.degree(v), "ports": "  ".join(cells)})
+    print(render_table(rows, title="adjacency (simulator view; robots never see this)"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph = build_graph(args)
+    starts = build_placement(args, graph)
+    labels = assign_labels(len(starts), graph.n, scheme=args.labels, seed=args.seed)
+    knowledge = {}
+    if args.max_degree is not None:
+        knowledge["max_degree"] = args.max_degree
+    if args.hop_distance is not None:
+        knowledge["hop_distance"] = args.hop_distance
+
+    factory = ALGORITHMS[args.algorithm](args)
+    rec = run_gathering(
+        args.algorithm,
+        graph,
+        starts,
+        labels,
+        lambda: factory,
+        knowledge=knowledge,
+        uses_uxs=args.algorithm not in NO_UXS,
+        stop_on_gather=args.algorithm in NO_DETECTION,
+        max_rounds=args.max_rounds,
+    )
+    print(render_table([rec.as_row()], title=f"{args.algorithm} on {args.family}"))
+    if rec.k and graph.n:
+        print(f"\nTheorem-16 regime for k={rec.k}, n={graph.n}: {regime_for(rec.k, graph.n)}")
+    if args.algorithm in NO_DETECTION:
+        print("(no detection: 'rounds' is when the harness stopped; see first_gather)")
+    return 0 if rec.gathered or args.algorithm in NO_DETECTION else 1
+
+
+def cmd_sweep(args) -> int:
+    rows = []
+    for n in args.ns:
+        ns_args = argparse.Namespace(**vars(args))
+        ns_args.n = n
+        graph = build_graph(ns_args)
+        starts = build_placement(ns_args, graph)
+        labels = assign_labels(len(starts), graph.n, scheme=args.labels, seed=args.seed)
+        factory = ALGORITHMS[args.algorithm](ns_args)
+        rec = run_gathering(
+            args.algorithm, graph, starts, labels, lambda: factory,
+            uses_uxs=args.algorithm not in NO_UXS,
+            stop_on_gather=args.algorithm in NO_DETECTION,
+        )
+        rows.append(rec.as_row())
+    print(render_table(rows, title=f"sweep: {args.algorithm} on {args.family}"))
+    if len(args.ns) >= 2:
+        slope = loglog_slope(args.ns, [r["rounds"] for r in rows])
+        print(f"\nlog-log slope of rounds vs n: {slope:.2f}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Gathering with detection on anonymous graphs — experiment CLI",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("families", help="list graph families").set_defaults(fn=cmd_families)
+
+    pb = sub.add_parser("bounds", help="print schedule arithmetic for n")
+    pb.add_argument("--n", type=int, required=True)
+    pb.add_argument("--max-degree", type=int, default=None)
+    pb.set_defaults(fn=cmd_bounds)
+
+    pp = sub.add_parser("plan", help="inspect the certified UXS plan for n")
+    pp.add_argument("--n", type=int, required=True)
+    pp.set_defaults(fn=cmd_plan)
+
+    def common(sp):
+        sp.add_argument("--family", choices=sorted(gg.FAMILIES), default="ring")
+        sp.add_argument("--n", type=int, default=12)
+        sp.add_argument("--k", type=int, default=4)
+        sp.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="faster")
+        sp.add_argument("--placement",
+                        choices=["undispersed", "dispersed", "scatter", "pair-distance"],
+                        default="dispersed")
+        sp.add_argument("--pair-distance", type=int, default=None)
+        sp.add_argument("--labels",
+                        choices=["random", "compact", "adversarial_long"],
+                        default="random")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--numbering",
+                        choices=["canonical", "random", "reversed", "rotated"],
+                        default="canonical")
+        sp.add_argument("--degree", type=int, default=3, help="for random_regular")
+        sp.add_argument("--rows", type=int, default=None, help="for grid/torus")
+        sp.add_argument("--cols", type=int, default=None, help="for grid/torus")
+        sp.add_argument("--max-degree", type=int, default=None,
+                        help="grant Δ knowledge (Remark 14)")
+        sp.add_argument("--hop-distance", type=int, default=None,
+                        help="grant distance knowledge (Remark 13)")
+        sp.add_argument("--max-rounds", type=int, default=None)
+
+    prep = sub.add_parser("report", help="regenerate the reproduction report (Markdown)")
+    prep.add_argument("--out", type=str, default=None, help="write to file instead of stdout")
+    prep.add_argument("--full", action="store_true", help="wider sweeps (slower)")
+    prep.set_defaults(fn=cmd_report)
+
+    psh = sub.add_parser("show", help="print a graph's port-labeled adjacency")
+    common(psh)
+    psh.set_defaults(fn=cmd_show)
+
+    pr = sub.add_parser("run", help="run one gathering instance")
+    common(pr)
+    pr.add_argument("--trace", action="store_true", help="(reserved)")
+    pr.set_defaults(fn=cmd_run)
+
+    ps = sub.add_parser("sweep", help="sweep n and fit the growth slope")
+    common(ps)
+    ps.add_argument("--ns", type=int, nargs="+", required=True)
+    ps.set_defaults(fn=cmd_sweep)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's algorithms.
+
+* :mod:`repro.core.bounds` — the deterministic round-schedule arithmetic
+  every robot derives from ``n`` (phase lengths, step boundaries).
+* :mod:`repro.core.uxs_gathering` — Section 2.1: gathering with detection
+  via universal exploration sequences (Theorem 6).
+* :mod:`repro.core.undispersed` — Section 2.2: ``Undispersed-Gathering``
+  (Theorem 8): token map construction + spanning-tree sweep.
+* :mod:`repro.core.hop_meeting` — Section 2.3: ``1-Hop-Meeting`` /
+  ``i-Hop-Meeting`` (Lemmas 9–10, Remark 14).
+* :mod:`repro.core.faster_gathering` — Section 2.3: the staged
+  ``Faster-Gathering`` composition (Theorems 12 and 16, Remark 13).
+"""
+
+from repro.core import bounds
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.hop_meeting import hop_meeting_program
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.known_k import known_k_gathering_program
+
+__all__ = [
+    "bounds",
+    "uxs_gathering_program",
+    "undispersed_gathering_program",
+    "hop_meeting_program",
+    "faster_gathering_program",
+    "known_k_gathering_program",
+]

@@ -1,0 +1,161 @@
+"""Round-schedule arithmetic shared by every robot.
+
+The paper's algorithms are *oblivious schedules*: every phase boundary is a
+fixed function of ``n`` (the only graph parameter robots know), so that all
+robots, knowing only ``n`` and the common round counter, agree on when each
+phase starts and ends.  This module is that function library.  Robots call
+it; the harness calls it; tests assert the implementations actually finish
+within the budgets it promises.
+
+Constants
+---------
+``LABEL_EXPONENT_CAP`` is the paper's ``a`` (footnote 8): schedules budget
+for IDs up to ``n^a``, and label assignment must respect ``b < a``.  The
+default ``a = 3`` leaves room for the default ``b = 2`` assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "LABEL_EXPONENT_CAP",
+    "schedule_bits",
+    "id_bits_lsb_first",
+    "hop_cycle_length",
+    "hop_meeting_rounds",
+    "phase1_rounds",
+    "undispersed_rounds",
+    "faster_gathering_boundaries",
+    "max_label",
+]
+
+#: The paper's constant ``a`` — schedules budget for labels in [1, n^a].
+LABEL_EXPONENT_CAP = 3
+
+
+def max_label(n: int, exponent: int = 2) -> int:
+    """Largest admissible label for ``b = exponent`` (must stay < a-cap)."""
+    if exponent >= LABEL_EXPONENT_CAP:
+        raise ValueError(
+            f"label exponent b={exponent} must be < a={LABEL_EXPONENT_CAP} "
+            "(the schedule budget, paper footnote 8)"
+        )
+    return max(2, n**exponent)
+
+
+def schedule_bits(n: int) -> int:
+    """How many ID-bit positions every schedule budgets for.
+
+    Any label in ``[1, n^a]`` has at most ``ceil(a*log2(n))`` bits; we add
+    one so even ``n = 2`` gets a sane schedule.  All robots use this same
+    number of per-bit cycles, which is what lets them stay aligned.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return LABEL_EXPONENT_CAP * max(1, math.ceil(math.log2(max(n, 2)))) + 1
+
+
+def id_bits_lsb_first(label: int) -> list[int]:
+    """A label's bits, least-significant first, no padding.
+
+    The paper reads IDs LSB→MSB; a robot that exhausts its bits enters its
+    "wait" regime, which is *different* from having a 0 bit (Lemma 1 depends
+    on this distinction).
+    """
+    if label < 1:
+        raise ValueError("labels start at 1")
+    out = []
+    x = label
+    while x:
+        out.append(x & 1)
+        x >>= 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# i-Hop-Meeting (Section 2.3, Lemmas 9-10, Remark 14)
+# ---------------------------------------------------------------------------
+def hop_cycle_length(i: int, n: int, max_degree: Optional[int] = None) -> int:
+    """Length of one hop-meeting cycle: ``T(i) = Σ_{j=1..i} 2·d^j``.
+
+    ``d = n-1`` in the base model; when the maximum degree is known
+    (Remark 14) ``d = Δ``, which is what makes hop-meeting affordable on
+    bounded-degree graphs.
+    """
+    if i < 1:
+        raise ValueError("hop distance i must be >= 1")
+    d = (n - 1) if max_degree is None else max_degree
+    d = max(d, 1)
+    return sum(2 * d**j for j in range(1, i + 1))
+
+
+def hop_meeting_rounds(i: int, n: int, max_degree: Optional[int] = None) -> int:
+    """Total schedule length of ``i-Hop-Meeting``: one cycle per budgeted bit."""
+    return hop_cycle_length(i, n, max_degree) * schedule_bits(n)
+
+
+def hop_meeting_phase_length(i: int, n: int, max_degree: Optional[int] = None) -> int:
+    """Embedded phase length: one publish/sync round plus the cycle schedule."""
+    return 1 + hop_meeting_rounds(i, n, max_degree)
+
+
+# ---------------------------------------------------------------------------
+# Undispersed-Gathering (Section 2.2, Theorem 8)
+# ---------------------------------------------------------------------------
+def phase1_rounds(n: int) -> int:
+    """Budget ``R1`` for Phase 1 (token map construction), ``O(n^3)``.
+
+    Our token-explorer (see DESIGN.md, substitution S2) resolves at most
+    ``2m <= n(n-1)`` frontier edges; one resolution costs at most one escort
+    (``<= n`` moves), one announce (2 rounds), one probe crossing + return
+    (2), one full sweep of the known map (``<= 2n``), one walk back to the
+    probe edge (``<= n``), one crossing (1), one announce (2) and one escort
+    step — comfortably below ``5n + 10`` rounds.  ``R1`` rounds that up with
+    a wide margin (tests assert actual Phase-1 completion fits for every
+    battery graph):
+
+    ``R1(n) = 6·n^3 + 20·n^2 + 64``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return 6 * n**3 + 20 * n**2 + 64
+
+
+def undispersed_rounds(n: int) -> int:
+    """Length ``R`` of one full ``Undispersed-Gathering`` phase.
+
+    Layout (relative rounds): 1 state-assignment/publish round, ``R1(n)``
+    rounds of Phase 1 (map finding), then ``2n`` rounds of Phase 2 (the
+    spanning-tree sweep is exactly ``2(n-1)`` moves, leaving 2 slack
+    rounds).  The observation of the round *after* the phase is the caller's
+    Lemma-11 aloneness check.
+
+    ``R(n) = 1 + R1(n) + 2n``.
+    """
+    return 1 + phase1_rounds(n) + 2 * n
+
+
+# ---------------------------------------------------------------------------
+# Faster-Gathering step boundaries (Section 2.3, Theorem 12)
+# ---------------------------------------------------------------------------
+def faster_gathering_boundaries(
+    n: int, max_degree: Optional[int] = None
+) -> list[int]:
+    """Absolute end-rounds of steps 1..6 of ``Faster-Gathering``.
+
+    Step 1 is one ``Undispersed-Gathering`` phase (``R`` rounds).  Step
+    ``s`` for ``s = 2..6`` is ``(s-1)-Hop-Meeting`` (one publish round plus
+    its cycle schedule) followed by another ``Undispersed-Gathering``.
+    Step 7 (the UXS fallback) starts at the last boundary; its length is
+    governed by the UXS plan, not by this function.
+
+    Returns ``[E1, E2, ..., E6]``.
+    """
+    r = undispersed_rounds(n)
+    bounds_ = [r]
+    for step in range(2, 7):
+        i = step - 1
+        bounds_.append(bounds_[-1] + hop_meeting_phase_length(i, n, max_degree) + r)
+    return bounds_

@@ -1,0 +1,106 @@
+"""``Faster-Gathering`` — the paper's main algorithm (§2.3, Theorems 12/16).
+
+The staged composition:
+
+* **step 1** — run ``Undispersed-Gathering``.  If the initial configuration
+  was undispersed, this gathers everyone (Theorem 8); otherwise nobody
+  moves.
+* **steps 2..6** — for ``i = 1..5``: run ``i-Hop-Meeting`` (which converts
+  a dispersed configuration with two robots within ``i`` hops into an
+  undispersed one, Lemma 10) and then ``Undispersed-Gathering`` again.
+* **step 7** — if still not gathered, fall back to the UXS algorithm of
+  §2.1, which handles every configuration.
+
+Detection (Lemma 11): at the end of each of the first six steps a robot is
+either alone — in which case *every* robot is alone and the schedule
+continues — or co-located with someone, in which case Theorem 8 guarantees
+**all** robots are on this node, so the robot terminates.  Step 7 carries
+its own detection (Theorem 6).
+
+Knowledge ablations (both must be granted uniformly to all robots):
+
+* ``knowledge["hop_distance"] = i`` (Remark 13) — jump straight to the step
+  that handles initial pair distance ``i`` (0 → just undispersed), keeping
+  the UXS fallback;
+* ``knowledge["max_degree"] = Δ`` (Remark 14) — hop-meeting cycles shrink
+  from ``Σ 2(n-1)^j`` to ``Σ 2Δ^j``.
+
+Round complexity: ``O(min{R + T(i), Õ(n^5)})`` by initial pair distance
+(Theorem 12), which with many robots becomes the headline regime table of
+Theorem 16 via Lemma 15.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hop_meeting import hop_meeting_phase
+from repro.core.undispersed import undispersed_phase
+from repro.core.uxs_gathering import uxs_phase
+from repro.sim.actions import Action
+from repro.sim.robot import RobotContext
+from repro.uxs.sequence import UxsPlan
+
+__all__ = ["faster_gathering_program", "MAX_HOP_STEP"]
+
+#: The paper runs hop-meeting for i = 1..5; beyond distance 5 the UXS
+#: algorithm is already faster (discussion after Lemma 10).
+MAX_HOP_STEP = 5
+
+
+def faster_gathering_program(
+    max_degree: Optional[int] = None,
+    hop_distance: Optional[int] = None,
+    plan: Optional[UxsPlan] = None,
+):
+    """Program factory for ``Faster-Gathering``.
+
+    Parameters mirror the knowledge ablations (and may equivalently be
+    granted via ``RobotSpec.knowledge``): ``max_degree`` enables Remark-14
+    cycle lengths, ``hop_distance`` enables the Remark-13 shortcut.
+    ``plan`` pins the UXS plan (defaults to the certified practical plan
+    for ``n``).
+    """
+
+    def factory(ctx: RobotContext):
+        if max_degree is not None:
+            ctx.knowledge.setdefault("max_degree", max_degree)
+        if hop_distance is not None:
+            ctx.knowledge.setdefault("hop_distance", hop_distance)
+
+        def program(ctx=ctx):
+            obs = yield
+            n = ctx.n
+            if n == 1:
+                yield Action.terminate()
+                return
+
+            hint = ctx.knowledge.get("hop_distance")
+            if hint is not None and not (0 <= hint):
+                raise ValueError(f"hop_distance hint must be >= 0, got {hint}")
+
+            if hint is None:
+                hop_steps = list(range(0, MAX_HOP_STEP + 1))  # 0 = plain undispersed
+            elif hint > MAX_HOP_STEP:
+                hop_steps = []  # straight to UXS
+            else:
+                hop_steps = [hint]
+
+            for step_no, i in enumerate(hop_steps, start=1):
+                if i > 0:
+                    obs = yield from hop_meeting_phase(ctx, obs, i, phase_start=obs.round)
+                obs = yield from undispersed_phase(ctx, obs, phase_start=obs.round)
+                ctx.stats["steps_completed"] = step_no
+                ctx.stats.setdefault("step_end_rounds", []).append(obs.round)
+                if not obs.alone(ctx.label):
+                    # Lemma 11 + Theorem 8: everyone is here.
+                    ctx.stats["gathered_at_step"] = step_no
+                    yield Action.terminate()
+                    return
+
+            ctx.stats["entered_uxs_fallback"] = True
+            yield from uxs_phase(ctx, obs, phase_start=obs.round, plan=plan, detect=True)
+
+        return program(ctx)
+
+    return factory

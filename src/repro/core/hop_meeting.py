@@ -1,0 +1,169 @@
+"""``i-Hop-Meeting`` (paper Section 2.3, Lemmas 9–10, Remark 14).
+
+Robots run synchronized *cycles*, one per budgeted ID bit (LSB first).  In a
+cycle a robot whose current bit is ``1`` systematically visits every node
+within ``i`` hops — a DFS over **all port-walks of length at most i** (no
+node marking exists in an anonymous graph, so the walk tree, not the node
+set, is enumerated) — and then idles out the rest of the cycle; a robot
+whose bit is ``0`` (or whose bits are exhausted) waits the whole cycle.
+
+Cycle length is ``T(i) = Σ_{j=1..i} 2·(n-1)^j`` rounds — an upper bound on
+the DFS cost — or ``Σ 2·Δ^j`` when the maximum degree is known (Remark 14),
+which is what keeps the procedure affordable on bounded-degree graphs.
+
+Meetings merge groups permanently: when two free robots are co-located, the
+lower-labeled one abandons its own schedule and follows the higher one until
+the end of the procedure (the paper only needs *some* pair to stay together
+so that the configuration is undispersed when ``Undispersed-Gathering``
+takes over; keeping every meeting merged is the natural way to guarantee
+it).  Because two distinct labels must differ at some (zero-padded) bit
+position, two robots within ``i`` hops are guaranteed to meet: at the first
+differing position one waits in place while the other's radius-``i`` DFS
+passes over it (Lemma 10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core import bounds
+from repro.core.proglets import highest_free_label, sleep_until, wait_for_merge
+from repro.sim.actions import Action, Observation
+from repro.sim.robot import RobotContext
+
+__all__ = ["hop_meeting_phase", "hop_meeting_program", "ball_dfs"]
+
+
+def ball_dfs(
+    obs: Observation,
+    radius: int,
+    my_label: int,
+    card: Optional[Dict[str, Any]] = None,
+):
+    """DFS over all port-walks of length <= ``radius`` from the current node.
+
+    Visits every node within ``radius`` hops and returns to the start node.
+    After every move the merge rule is evaluated; on spotting a higher free
+    robot the walk is abandoned and ``(obs, leader)`` returned (the caller
+    must start following — physically we are co-located with the leader).
+    Returns ``(obs, None)`` after a complete walk (back at the start).
+    """
+    # Stack frames: [next_port_to_try, degree, port_back_to_parent]
+    stack = [[0, obs.degree, -1]]
+    while stack:
+        frame = stack[-1]
+        if len(stack) - 1 < radius and frame[0] < frame[1]:
+            port = frame[0]
+            frame[0] += 1
+            obs = yield Action.move(port, card=card)
+            card = None
+            leader = highest_free_label(obs.cards, exclude=my_label)
+            if leader is not None and leader > my_label:
+                return obs, leader
+            stack.append([0, obs.degree, obs.entry_port])
+        else:
+            stack.pop()
+            if stack:
+                obs = yield Action.move(frame[2], card=card)
+                card = None
+                leader = highest_free_label(obs.cards, exclude=my_label)
+                if leader is not None and leader > my_label:
+                    return obs, leader
+    return obs, None
+
+
+def hop_meeting_phase(
+    ctx: RobotContext,
+    obs: Observation,
+    i: int,
+    phase_start: int,
+):
+    """The embedded ``i-Hop-Meeting`` phase.
+
+    Occupies absolute rounds ``[phase_start, phase_start + L)`` with
+    ``L = bounds.hop_meeting_phase_length(i, n, Δ?)``: one publish round
+    followed by ``schedule_bits(n)`` cycles.  Returns the observation of
+    round ``phase_start + L`` (the first round of whatever follows); by then
+    the robot is either at its start node (never merged, or acting as a
+    leader) or co-located with the group it merged into.
+
+    The caller must arrange that the robot is free at ``phase_start`` and
+    that ``obs.round == phase_start``.
+    """
+    n = ctx.n
+    label = ctx.label
+    max_degree = ctx.knowledge.get("max_degree")
+    cycle = bounds.hop_cycle_length(i, n, max_degree)
+    num_cycles = bounds.schedule_bits(n)
+    end_round = phase_start + 1 + cycle * num_cycles
+    bits = bounds.id_bits_lsb_first(label)
+
+    assert obs.round == phase_start, (obs.round, phase_start)
+
+    # Publish round: declare ourselves free; everyone syncs here.
+    card = {"following": None, "alg": f"hop{i}"}
+    obs = yield Action.stay(card=card)
+
+    def merge_into(leader: int):
+        """Follow ``leader`` to the end of the phase; resume co-located."""
+        return Action.follow(
+            leader,
+            until_round=end_round,
+            on_leader_terminate="wake",
+            card={"following": leader, "alg": f"hop{i}"},
+        )
+
+    # Robots that share a node at the start merge immediately (relevant for
+    # standalone runs on undispersed inputs).
+    leader = highest_free_label(obs.cards, exclude=label)
+    if leader is not None and leader > label:
+        obs = yield merge_into(leader)
+        return obs
+
+    for c in range(num_cycles):
+        cycle_end = phase_start + 1 + (c + 1) * cycle
+        bit = bits[c] if c < len(bits) else 0  # exhausted robots wait
+        if bit == 1:
+            obs, leader = yield from ball_dfs(obs, i, label)
+            if leader is None:
+                # Idle tail of the cycle: still watch for arrivals.
+                obs, leader = yield from wait_for_merge(obs, cycle_end, label)
+            if leader is not None:
+                obs = yield merge_into(leader)
+                return obs
+        else:
+            obs, leader = yield from wait_for_merge(obs, cycle_end, label)
+            if leader is not None:
+                obs = yield merge_into(leader)
+                return obs
+    # Never merged (or we are the leader of whoever merged into us):
+    # wait out the boundary; we are back at our start node.
+    obs = yield from sleep_until(obs, end_round)
+    return obs
+
+
+def hop_meeting_program(i: int, max_degree: Optional[int] = None):
+    """Standalone ``i-Hop-Meeting`` for experiments (Lemmas 9–10, E2).
+
+    Runs exactly one hop-meeting schedule from round 0 and terminates.  The
+    harness then inspects the final configuration: if two robots started
+    within ``i`` hops, at least one node must hold two or more robots
+    (an undispersed configuration).  No detection is claimed here — that is
+    ``Faster-Gathering``'s job.
+    """
+
+    def factory(ctx: RobotContext):
+        if max_degree is not None:
+            ctx.knowledge.setdefault("max_degree", max_degree)
+
+        def program(ctx=ctx):
+            obs = yield
+            if ctx.n == 1:
+                yield Action.terminate()
+                return
+            obs = yield from hop_meeting_phase(ctx, obs, i, phase_start=obs.round)
+            yield Action.terminate()
+
+        return program(ctx)
+
+    return factory

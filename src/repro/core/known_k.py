@@ -1,0 +1,125 @@
+"""Known-``k`` detection ablation.
+
+The paper is explicit that robots do **not** know ``k`` (and contrasts
+itself with Elouasbi–Pelc [21], where two-robot detection makes ``k = 2``
+implicit).  This module quantifies exactly what that ignorance costs: when
+``k`` *is* known, detection collapses to a head-count — terminate the round
+the co-located census reaches ``k`` — and the whole termination machinery
+(silent ``2T`` waits, step boundaries) evaporates.
+
+``known_k_gathering_program(k)`` runs the §2.1 UXS schedule for movement
+(the gathering part is unchanged — known ``k`` does not help robots *find*
+each other, only *know when to stop*), with the census check replacing the
+silent-wait rule.  Benchmark E11 measures the detection-tail difference.
+
+Correctness: all robots are co-located exactly when some node's census hits
+``k``; every free robot at that node observes it in the same round (cards
+are broadcast), terminates, and the terminate-cascade fells the followers —
+so detection is exact and simultaneous.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import bounds
+from repro.core.proglets import highest_free_label
+from repro.sim.actions import Action, Observation
+from repro.sim.robot import RobotContext
+from repro.uxs.generators import practical_plan
+from repro.uxs.sequence import UxsPlan
+
+__all__ = ["known_k_gathering_program"]
+
+
+def known_k_gathering_program(k: int, plan: Optional[UxsPlan] = None):
+    """UXS-schedule gathering with census-based detection (knows ``k``)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    def factory(ctx: RobotContext):
+        def program(ctx=ctx):
+            obs = yield
+            n = ctx.n
+            label = ctx.label
+            if n == 1 or k == 1:
+                yield Action.terminate()
+                return
+            the_plan = plan if plan is not None else practical_plan(n)
+            t = the_plan.T
+            bits = bounds.id_bits_lsb_first(label)
+            budget = bounds.schedule_bits(n)
+            phase_start = obs.round
+
+            def census_done(o: Observation) -> bool:
+                return len(o.cards) >= k
+
+            card = {"following": None, "alg": "uxs-k"}
+            obs = yield Action.stay(card=card)
+            if census_done(obs):
+                yield Action.terminate()
+                return
+            leader = highest_free_label(obs.cards, exclude=label)
+            if leader is not None and leader > label:
+                yield Action.follow(leader, card={"following": leader, "alg": "uxs-k"})
+                return
+
+            def wait_watching(obs, target):
+                """Wait until ``target``; return early on census or merge."""
+                while obs.round < target:
+                    obs = yield Action.sleep(target, wake_on_meet=True)
+                    if census_done(obs):
+                        return obs, "done", None
+                    lead = highest_free_label(obs.cards, exclude=label)
+                    if lead is not None and lead > label:
+                        return obs, "merge", lead
+                return obs, "timeout", None
+
+            for p in range(budget + 1):
+                p_start = phase_start + 1 + p * 2 * t
+                p_mid = p_start + t
+                p_end = p_start + 2 * t
+                halves = []
+                bit = bits[p] if p < len(bits) else 0
+                if p < len(bits) and bit == 1:
+                    halves = [("explore", p_mid), ("wait", p_end)]
+                else:
+                    halves = [("wait", p_mid), ("explore", p_end)]
+                outcome = None
+                for kind, target in halves:
+                    if kind == "explore":
+                        e = 0
+                        while obs.round < target:
+                            sym = the_plan.offsets[obs.round - (target - t)]
+                            port = (e + sym) % obs.degree
+                            obs = yield Action.move(port)
+                            e = obs.entry_port
+                            if census_done(obs):
+                                outcome = ("done", None)
+                                break
+                            lead = highest_free_label(obs.cards, exclude=label)
+                            if lead is not None and lead > label:
+                                outcome = ("merge", lead)
+                                break
+                    else:
+                        obs, status, lead = yield from wait_watching(obs, target)
+                        if status != "timeout":
+                            outcome = (status, lead)
+                    if outcome:
+                        break
+                if outcome:
+                    status, lead = outcome
+                    if status == "done":
+                        yield Action.terminate()
+                        return
+                    yield Action.follow(lead, card={"following": lead, "alg": "uxs-k"})
+                    return
+            # schedule exhausted without census completion: with a correct k
+            # this cannot happen (coverage guarantees meetings); fail loudly.
+            raise RuntimeError(
+                f"robot {label}: schedule exhausted, census never reached {k}"
+            )
+
+        return program(ctx)
+
+    return factory

@@ -1,0 +1,94 @@
+"""Reusable robot-program fragments ("proglets").
+
+Robot programs are generators; these helpers are sub-generators composed
+with ``yield from``.  Convention: every proglet takes the current
+observation as its first argument and **returns the observation of the
+round in which the caller next acts**, so callers thread ``obs`` through::
+
+    obs = yield from sleep_until(obs, target, card)
+    obs = yield from walk_ports(obs, route, card)
+
+Card-handling convention used across the algorithms:
+
+* every card contains ``"id"`` (enforced by the scheduler) and
+  ``"following"`` — the label of the robot currently being followed, or
+  ``None`` ("free");
+* algorithm-specific fields (``"state"``, ``"groupid"``, ``"tok"``) ride on
+  top and are documented where used.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.sim.actions import Action, Observation
+
+__all__ = [
+    "sleep_until",
+    "walk_ports",
+    "highest_free_label",
+    "wait_for_merge",
+]
+
+
+def sleep_until(obs: Observation, target: int, card: Optional[Dict[str, Any]] = None):
+    """Sleep (ignoring meetings) until absolute round ``target``.
+
+    No-op if ``target`` is not in the future.
+    """
+    while obs.round < target:
+        obs = yield Action.sleep(target, wake_on_meet=False, card=card)
+        card = None  # publish once
+    return obs
+
+
+def walk_ports(
+    obs: Observation,
+    ports: Iterable[int],
+    card: Optional[Dict[str, Any]] = None,
+):
+    """Move along a port sequence, one port per round."""
+    for p in ports:
+        obs = yield Action.move(p, card=card)
+        card = None
+    return obs
+
+
+def highest_free_label(cards: Sequence[Mapping[str, Any]], exclude: int) -> Optional[int]:
+    """The largest label among co-located *free* robots (``following is
+    None``), excluding ``exclude`` (the caller); ``None`` if there is none.
+
+    This is the merge rule of the UXS algorithm and of hop-meeting: when a
+    free robot sees a higher free robot, it starts following it.
+    """
+    best: Optional[int] = None
+    for c in cards:
+        label = c.get("id")
+        if label == exclude or c.get("following") is not None:
+            continue
+        if best is None or label > best:
+            best = label
+    return best
+
+
+def wait_for_merge(
+    obs: Observation,
+    target: int,
+    my_label: int,
+    card: Optional[Dict[str, Any]] = None,
+):
+    """Wait until round ``target``, watching for a higher free robot.
+
+    Sleeps with ``wake_on_meet``; each time somebody arrives, checks the
+    merge rule.  Returns ``(obs, leader)`` where ``leader`` is the label of
+    a higher free robot to start following, or ``None`` if the wait ran to
+    ``target`` undisturbed (the caller then owns the round-``target``
+    observation).
+    """
+    while obs.round < target:
+        obs = yield Action.sleep(target, wake_on_meet=True, card=card)
+        card = None
+        leader = highest_free_label(obs.cards, exclude=my_label)
+        if leader is not None and leader > my_label:
+            return obs, leader
+    return obs, None

@@ -1,0 +1,22 @@
+"""Extensions: the paper's alternative settings and future-work probes.
+
+The core algorithms assume the model of §1.1 exactly: simultaneous start,
+fault-free robots.  The paper's conclusion names the relaxations it leaves
+open; this package provides the instrumentation to *experiment* with them
+(and tests demonstrating precisely where the assumptions are load-bearing):
+
+* :mod:`~repro.ext.startup_delay` — wake robots at different rounds.  The
+  oblivious schedules of ``Faster-Gathering`` desynchronize under delays
+  (phase boundaries no longer align), which is why the paper explicitly
+  assumes simultaneous start; the tests show a delayed run breaking and the
+  delay-tolerant UXS-style baseline surviving.
+* :mod:`~repro.ext.crash_faults` — kill robots at chosen rounds.  Gathering
+  *with detection* is impossible in general under crashes (a waiter that
+  dies can never be collected, and nobody can know); the wrapper lets
+  experiments quantify how the algorithms degrade.
+"""
+
+from repro.ext.startup_delay import delayed_start
+from repro.ext.crash_faults import crash_at
+
+__all__ = ["delayed_start", "crash_at"]

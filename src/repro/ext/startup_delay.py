@@ -1,0 +1,69 @@
+"""Startup-delay wrapper (the paper's first future-work direction).
+
+The paper: *"we assumed that all robots simultaneously woke up.  An
+interesting future direction would be to see if we can leverage this
+approach ... even if robots wake up at arbitrary times."*
+
+:func:`delayed_start` wraps any program factory so the robot sleeps through
+its first ``delay`` rounds before running the original program.  The robot
+is physically present while dormant (it occupies its node and its initial
+card is visible — matching the standard "dormant until woken, but
+collectable" convention; a dormant robot does not react to meetings).
+
+What to expect (and what the tests pin down):
+
+* delay-0 wrapping is the identity;
+* the oblivious schedules of ``Undispersed-Gathering`` / ``Faster-
+  Gathering`` **break** under asymmetric delays — phase boundaries
+  desynchronize, so robots read each other's cards mid-phase and the
+  Lemma-11 aloneness check loses its meaning.  This is a *demonstration*
+  that the simultaneous-start assumption is load-bearing, not a bug;
+* the UXS algorithm tolerates *delay-faulted groups* in restricted cases
+  (e.g. a robot delayed past another's full exploration is still found as
+  a waiter would be), but its termination rule is also calibrated to a
+  common round 0 — the tests include a breaking configuration.
+"""
+
+from __future__ import annotations
+
+from repro.sim.actions import Action
+from repro.sim.robot import ProgramFactory, RobotContext
+
+__all__ = ["delayed_start"]
+
+
+def delayed_start(factory: ProgramFactory, delay: int) -> ProgramFactory:
+    """Wrap ``factory`` so the robot's program starts at round ``delay``.
+
+    The wrapped robot sleeps (without reacting to meetings) through rounds
+    ``0 .. delay-1`` and then runs the inner program, which sees its first
+    observation at round ``delay``.  Inner programs that assume their first
+    observation is round 0 must use relative arithmetic — all programs in
+    :mod:`repro.core` do (they anchor on ``obs.round``), so the wrapper
+    composes mechanically; the *semantic* breakage under delay is the
+    interesting part.
+    """
+    if delay < 0:
+        raise ValueError("delay must be >= 0")
+
+    def wrapped(ctx: RobotContext):
+        inner = factory(ctx)
+
+        def program():
+            obs = yield
+            if delay > 0:
+                while obs.round < delay:
+                    obs = yield Action.sleep(delay, wake_on_meet=False)
+            # hand over: prime the inner generator, then forward its
+            # first action with our current observation
+            first = next(inner)
+            if first is not None:  # pragma: no cover - inner must be a program
+                raise RuntimeError("inner program must start with a bare yield")
+            action = inner.send(obs)
+            while True:
+                obs = yield action
+                action = inner.send(obs)
+
+        return program()
+
+    return wrapped

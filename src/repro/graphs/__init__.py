@@ -1,0 +1,34 @@
+"""Anonymous port-labeled graph substrate.
+
+Mobile-robot algorithms on anonymous graphs never see node identities: a
+robot standing on a node observes only the node's *degree* and, after a move,
+the *port* through which it arrived.  This subpackage provides:
+
+* :class:`~repro.graphs.port_graph.PortGraph` — the immutable core data
+  structure: an undirected connected graph whose every edge endpoint carries a
+  local port number in ``[0, deg)``.
+* :mod:`~repro.graphs.generators` — graph families used throughout the
+  paper's experiments (rings, grids, trees, random graphs, lollipops, ...).
+* :mod:`~repro.graphs.port_numbering` — strategies for assigning port
+  numbers; anonymity lower bounds live and die by adversarial port labels, so
+  experiments exercise several.
+* :mod:`~repro.graphs.traversal` — BFS layers, balls, diameter, spanning
+  trees, Euler tours and port-walk navigation.
+* :mod:`~repro.graphs.isomorphism` — port-labeled isomorphism checking, used
+  to validate maps built by the token-explorer.
+"""
+
+from repro.graphs.port_graph import PortGraph, Edge
+from repro.graphs import generators
+from repro.graphs import port_numbering
+from repro.graphs import traversal
+from repro.graphs import isomorphism
+
+__all__ = [
+    "PortGraph",
+    "Edge",
+    "generators",
+    "port_numbering",
+    "traversal",
+    "isomorphism",
+]

@@ -1,0 +1,96 @@
+"""Exhaustive enumeration of small port-labeled graphs.
+
+Used by the exhaustive UXS search and by property tests.  The number of
+port-labeled graphs explodes quickly — every node independently permutes its
+incident edges — so exhaustive enumeration is only offered for ``n <= 4``
+(and is already in the tens of thousands there); beyond that, use the seeded
+samplers in :mod:`repro.graphs.generators`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Iterator, List, Tuple
+
+from repro.graphs.port_graph import Edge, PortGraph
+
+__all__ = ["connected_edge_sets", "port_numberings", "all_port_graphs", "count_port_graphs"]
+
+#: Guard: enumeration beyond this is combinatorially explosive.
+MAX_EXHAUSTIVE_N = 4
+
+
+def connected_edge_sets(n: int) -> Iterator[Tuple[Tuple[int, int], ...]]:
+    """All connected simple graphs on exactly the nodes ``0..n-1``.
+
+    Yields edge tuples.  Isolated nodes are not allowed (connectivity on all
+    ``n`` nodes); for ``n = 1``, yields the empty edge set once.
+    """
+    if n == 1:
+        yield ()
+        return
+    all_pairs = list(combinations(range(n), 2))
+    for r in range(n - 1, len(all_pairs) + 1):
+        for subset in combinations(all_pairs, r):
+            if _connected(n, subset):
+                yield subset
+
+
+def _connected(n: int, pairs) -> bool:
+    adj = [[] for _ in range(n)]
+    for (u, v) in pairs:
+        adj[u].append(v)
+        adj[v].append(u)
+    seen = [False] * n
+    stack = [0]
+    seen[0] = True
+    cnt = 1
+    while stack:
+        v = stack.pop()
+        for u in adj[v]:
+            if not seen[u]:
+                seen[u] = True
+                cnt += 1
+                stack.append(u)
+    return cnt == n
+
+
+def port_numberings(n: int, pairs: Tuple[Tuple[int, int], ...]) -> Iterator[PortGraph]:
+    """All port numberings of one edge set (product of per-node permutations)."""
+    inc: List[List[int]] = [[] for _ in range(n)]
+    for (u, v) in pairs:
+        inc[u].append(v)
+        inc[v].append(u)
+    perms_per_node = [list(permutations(sorted(neigh))) for neigh in inc]
+
+    def rec(v: int, port_of: dict) -> Iterator[PortGraph]:
+        if v == n:
+            edges = [
+                Edge(u, w, port_of[(u, w)], port_of[(w, u)]) for (u, w) in pairs
+            ]
+            yield PortGraph(n, edges)
+            return
+        for perm in perms_per_node[v]:
+            for p, u in enumerate(perm):
+                port_of[(v, u)] = p
+            yield from rec(v + 1, port_of)
+
+    yield from rec(0, {})
+
+
+def all_port_graphs(n: int, allow_large: bool = False) -> Iterator[PortGraph]:
+    """Every connected port-labeled graph on exactly ``n`` nodes.
+
+    ``allow_large`` overrides the ``n <= 4`` guard (only do this knowingly).
+    """
+    if n > MAX_EXHAUSTIVE_N and not allow_large:
+        raise ValueError(
+            f"exhaustive enumeration for n={n} is explosive; "
+            f"cap is {MAX_EXHAUSTIVE_N} (pass allow_large=True to override)"
+        )
+    for pairs in connected_edge_sets(n):
+        yield from port_numberings(n, pairs)
+
+
+def count_port_graphs(n: int) -> int:
+    return sum(1 for _ in all_port_graphs(n))

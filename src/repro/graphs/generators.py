@@ -1,0 +1,388 @@
+"""Graph families used by the paper's experiments.
+
+All generators return a connected :class:`~repro.graphs.port_graph.PortGraph`
+with ports assigned by a chosen strategy (default ``canonical``; experiments
+typically rerun with ``random`` numbering to exercise anonymity).
+
+The families cover the shapes that matter for gathering:
+
+* **ring / path / grid / torus** — low degree, large diameter; worst cases
+  for the trivial ``Ω(n)`` lower bound and friendly cases for hop-meeting.
+* **complete / star** — small diameter, high degree; stress the
+  ``(n-1)^i``-padding of hop-meeting cycles.
+* **trees** (balanced binary, caterpillar, random) — no cycles, so map
+  construction's frontier logic is exercised without merges.
+* **erdos_renyi / random_regular** — the generic "arbitrary graph" setting.
+* **lollipop / barbell** — classic worst cases for cover time (``Θ(n^3)``
+  random-walk cover), included to keep UXS certification honest.
+* **hypercube / cycle_with_chords** — structured symmetric graphs where
+  anonymous walks tend to stay in lockstep; good adversaries for meetings.
+
+Every generator is deterministic given its arguments (random families take a
+``seed``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.graphs.port_graph import PortGraph
+from repro.graphs.port_numbering import assign_ports
+
+__all__ = [
+    "ring",
+    "path",
+    "grid",
+    "torus",
+    "complete",
+    "star",
+    "binary_tree",
+    "caterpillar",
+    "random_tree",
+    "erdos_renyi",
+    "random_regular",
+    "lollipop",
+    "barbell",
+    "hypercube",
+    "wheel",
+    "complete_bipartite",
+    "broom",
+    "cycle_with_chords",
+    "FAMILIES",
+    "by_name",
+]
+
+
+def _build(n: int, pairs: List[Tuple[int, int]], numbering: str, seed: int) -> PortGraph:
+    g = assign_ports(n, pairs, strategy=numbering, seed=seed)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Deterministic families
+# ---------------------------------------------------------------------------
+def ring(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    pairs = [(i, (i + 1) % n) for i in range(n)]
+    return _build(n, pairs, numbering, seed)
+
+
+def path(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Simple path on ``n >= 2`` nodes (the line graph of the lower bound)."""
+    if n < 2:
+        raise ValueError("path needs n >= 2")
+    pairs = [(i, i + 1) for i in range(n - 1)]
+    return _build(n, pairs, numbering, seed)
+
+
+def grid(rows: int, cols: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """``rows x cols`` 4-neighbor grid."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least 2 nodes")
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                pairs.append((idx(r, c), idx(r, c + 1)))
+            if r + 1 < rows:
+                pairs.append((idx(r, c), idx(r + 1, c)))
+    return _build(rows * cols, pairs, numbering, seed)
+
+
+def torus(rows: int, cols: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """``rows x cols`` grid with wraparound; 4-regular when both dims >= 3."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows, cols >= 3")
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    pairs = set()
+    for r in range(rows):
+        for c in range(cols):
+            a = idx(r, c)
+            for b in (idx(r, (c + 1) % cols), idx((r + 1) % rows, c)):
+                pairs.add((min(a, b), max(a, b)))
+    return _build(rows * cols, sorted(pairs), numbering, seed)
+
+
+def complete(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Complete graph ``K_n``, ``n >= 2``."""
+    if n < 2:
+        raise ValueError("complete needs n >= 2")
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _build(n, pairs, numbering, seed)
+
+
+def star(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Star with center 0 and ``n-1`` leaves."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    pairs = [(0, i) for i in range(1, n)]
+    return _build(n, pairs, numbering, seed)
+
+
+def binary_tree(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Complete-ish binary tree on ``n >= 2`` nodes (heap order)."""
+    if n < 2:
+        raise ValueError("binary_tree needs n >= 2")
+    pairs = [((i - 1) // 2, i) for i in range(1, n)]
+    return _build(n, pairs, numbering, seed)
+
+
+def caterpillar(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Caterpillar: a spine path with alternating legs, ``n >= 2``."""
+    if n < 2:
+        raise ValueError("caterpillar needs n >= 2")
+    spine = (n + 1) // 2
+    pairs = [(i, i + 1) for i in range(spine - 1)]
+    node = spine
+    i = 0
+    while node < n:
+        pairs.append((i % spine, node))
+        node += 1
+        i += 1
+    return _build(n, pairs, numbering, seed)
+
+
+def hypercube(dim: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """The ``dim``-dimensional hypercube (``2^dim`` nodes)."""
+    if dim < 1:
+        raise ValueError("hypercube needs dim >= 1")
+    n = 1 << dim
+    pairs = []
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if u > v:
+                pairs.append((v, u))
+    return _build(n, pairs, numbering, seed)
+
+
+def lollipop(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Clique on ``ceil(n/2)`` nodes with a path tail — cover-time worst case."""
+    if n < 4:
+        raise ValueError("lollipop needs n >= 4")
+    head = (n + 1) // 2
+    pairs = [(i, j) for i in range(head) for j in range(i + 1, head)]
+    pairs += [(i, i + 1) for i in range(head - 1, n - 1)]
+    return _build(n, pairs, numbering, seed)
+
+
+def barbell(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Two cliques joined by a path (three roughly equal parts)."""
+    if n < 6:
+        raise ValueError("barbell needs n >= 6")
+    a = n // 3
+    b = n - 2 * a  # path length between the cliques, >= a
+    pairs = [(i, j) for i in range(a) for j in range(i + 1, a)]
+    hi = n - a
+    pairs += [(i, j) for i in range(hi, n) for j in range(i + 1, n)]
+    # path connecting node a-1 .. a .. hi-1 .. hi
+    chain = [a - 1] + list(range(a, hi)) + [hi]
+    pairs += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    dedup = sorted({(min(u, v), max(u, v)) for (u, v) in pairs})
+    return _build(n, dedup, numbering, seed)
+
+
+def wheel(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """Wheel: a hub (node 0) connected to every node of an (n-1)-ring."""
+    if n < 5:
+        raise ValueError("wheel needs n >= 5")
+    rim = n - 1
+    pairs = [(0, i) for i in range(1, n)]
+    pairs += [(i, i % rim + 1) for i in range(1, n)]
+    dedup = sorted({(min(u, v), max(u, v)) for (u, v) in pairs})
+    return _build(n, dedup, numbering, seed)
+
+
+def complete_bipartite(
+    a: int, b: int, numbering: str = "canonical", seed: int = 0
+) -> PortGraph:
+    """``K_{a,b}``: every left node adjacent to every right node."""
+    if a < 1 or b < 1 or a + b < 2:
+        raise ValueError("complete_bipartite needs a, b >= 1")
+    pairs = [(i, a + j) for i in range(a) for j in range(b)]
+    return _build(a + b, pairs, numbering, seed)
+
+
+def broom(n: int, handle: int | None = None, numbering: str = "canonical", seed: int = 0) -> PortGraph:
+    """A path ("handle") ending in a star ("brush") — asymmetric tree.
+
+    ``handle`` defaults to ``n // 2``.  A classic adversary for anonymous
+    walks: long thin stretch plus a high-degree hub.
+    """
+    if n < 4:
+        raise ValueError("broom needs n >= 4")
+    h = handle if handle is not None else n // 2
+    if not (2 <= h <= n - 2):
+        raise ValueError("handle must leave at least 2 brush nodes")
+    pairs = [(i, i + 1) for i in range(h - 1)]
+    pairs += [(h - 1, j) for j in range(h, n)]
+    return _build(n, pairs, numbering, seed)
+
+
+def cycle_with_chords(
+    n: int, chords: int = 2, numbering: str = "canonical", seed: int = 0
+) -> PortGraph:
+    """Ring plus ``chords`` long chords (deterministic chord placement)."""
+    if n < 5:
+        raise ValueError("cycle_with_chords needs n >= 5")
+    pairs = {(i, (i + 1) % n) for i in range(n)}
+    pairs = {(min(u, v), max(u, v)) for (u, v) in pairs}
+    added = 0
+    step = max(2, n // (chords + 1))
+    i = 0
+    while added < chords and i < n:
+        a, b = i, (i + n // 2) % n
+        key = (min(a, b), max(a, b))
+        if a != b and key not in pairs:
+            pairs.add(key)
+            added += 1
+        i += step
+    return _build(n, sorted(pairs), numbering, seed)
+
+
+# ---------------------------------------------------------------------------
+# Random families (seeded, deterministic)
+# ---------------------------------------------------------------------------
+def random_tree(n: int, seed: int = 0, numbering: str = "canonical") -> PortGraph:
+    """Uniform random labeled tree via a random Prüfer sequence."""
+    if n < 2:
+        raise ValueError("random_tree needs n >= 2")
+    if n == 2:
+        return _build(2, [(0, 1)], numbering, seed)
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    pairs = []
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        pairs.append((min(leaf, v), max(leaf, v)))
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    pairs.append((min(u, v), max(u, v)))
+    return _build(n, sorted(pairs), numbering, seed)
+
+
+def erdos_renyi(
+    n: int, p: float | None = None, seed: int = 0, numbering: str = "canonical"
+) -> PortGraph:
+    """Connected Erdős–Rényi graph.
+
+    ``p`` defaults to ``min(1, 2 ln n / n)`` (just above the connectivity
+    threshold).  Edges are sampled with a seeded RNG and, if the sample is
+    disconnected, a spanning-tree patch-up connects the components (keeping
+    the sample deterministic rather than resampling forever).
+    """
+    import math
+
+    if n < 2:
+        raise ValueError("erdos_renyi needs n >= 2")
+    if p is None:
+        p = min(1.0, 2.0 * math.log(max(n, 2)) / n)
+    rng = random.Random(seed)
+    pairs = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                pairs.add((i, j))
+
+    # connect components deterministically
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        parent[find(a)] = find(b)
+
+    for (u, v) in pairs:
+        union(u, v)
+    roots = sorted({find(v) for v in range(n)})
+    for a, b in zip(roots, roots[1:]):
+        pairs.add((min(a, b), max(a, b)))
+        union(a, b)
+    return _build(n, sorted(pairs), numbering, seed)
+
+
+def random_regular(
+    n: int, d: int = 3, seed: int = 0, numbering: str = "canonical"
+) -> PortGraph:
+    """Random ``d``-regular connected graph (configuration model + retries)."""
+    if n * d % 2 != 0:
+        raise ValueError("n*d must be even for a d-regular graph")
+    if d >= n:
+        raise ValueError("need d < n")
+    if d < 2:
+        raise ValueError("need d >= 2 for connectivity")
+    rng = random.Random(seed)
+    for attempt in range(1000):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        pairs = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            key = (min(u, v), max(u, v))
+            if u == v or key in pairs:
+                ok = False
+                break
+            pairs.add(key)
+        if not ok:
+            continue
+        g = _build(n, sorted(pairs), numbering, seed)
+        if g.is_connected():
+            return g
+    raise RuntimeError(f"could not sample a connected {d}-regular graph on {n} nodes")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+FAMILIES: Dict[str, Callable[..., PortGraph]] = {
+    "ring": ring,
+    "path": path,
+    "grid": grid,
+    "torus": torus,
+    "complete": complete,
+    "star": star,
+    "binary_tree": binary_tree,
+    "caterpillar": caterpillar,
+    "random_tree": random_tree,
+    "erdos_renyi": erdos_renyi,
+    "random_regular": random_regular,
+    "lollipop": lollipop,
+    "barbell": barbell,
+    "hypercube": hypercube,
+    "wheel": wheel,
+    "complete_bipartite": complete_bipartite,
+    "broom": broom,
+    "cycle_with_chords": cycle_with_chords,
+}
+
+
+def by_name(name: str, **kwargs) -> PortGraph:
+    """Instantiate a family from the registry (used by the experiment CLI)."""
+    try:
+        fn = FAMILIES[name]
+    except KeyError:
+        raise ValueError(f"unknown family {name!r}; known: {sorted(FAMILIES)}") from None
+    return fn(**kwargs)

@@ -1,0 +1,304 @@
+"""The anonymous port-labeled graph data structure.
+
+A :class:`PortGraph` is an undirected, connected graph on nodes
+``0 .. n-1`` where each node ``v`` numbers its incident edges with distinct
+*ports* ``0 .. deg(v)-1``.  An edge between ``u`` and ``v`` therefore carries
+two port numbers — one assigned by each endpoint — and these need not agree,
+exactly as in the paper's model (Section 1.1).
+
+Node integers exist only for the simulator's bookkeeping; the robot-facing
+API (:mod:`repro.sim`) never leaks them.  All robot algorithms interact with
+the graph exclusively through two primitives:
+
+* ``degree(v)`` — how many ports the current node has;
+* ``traverse(v, p) -> (u, q)`` — walk out of port ``p``; arrive at the
+  neighbor ``u`` through its port ``q``.
+
+The structure is immutable after construction, hashable by content, and
+validates itself on creation so that every downstream component can assume a
+well-formed port numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["Edge", "PortGraph", "PortGraphError"]
+
+
+class PortGraphError(ValueError):
+    """Raised when a port-graph description is malformed."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected edge with its two endpoint port numbers.
+
+    ``u``/``v`` are node indices; ``pu`` is the port number the edge has at
+    ``u`` and ``pv`` the port number at ``v``.  Self-loops are disallowed
+    (the gathering model assumes simple graphs); parallel edges likewise.
+    """
+
+    u: int
+    v: int
+    pu: int
+    pv: int
+
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.u, self.v)
+
+    def other(self, w: int) -> int:
+        """The endpoint that is not ``w``."""
+        if w == self.u:
+            return self.v
+        if w == self.v:
+            return self.u
+        raise PortGraphError(f"node {w} is not an endpoint of {self}")
+
+
+class PortGraph:
+    """Immutable anonymous port-labeled graph.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are ``0 .. n-1``.
+    edges:
+        Iterable of :class:`Edge` (or ``(u, v, pu, pv)`` tuples).  Each node's
+        ports must form exactly ``{0, .., deg-1}``.
+
+    Notes
+    -----
+    * The graph must be simple (no self-loops, no parallel edges).
+    * Connectivity is *not* enforced here (subgraphs and partial maps are
+      legitimate values during map construction); use :meth:`is_connected`
+      or :func:`repro.graphs.traversal.require_connected` where the model
+      demands it.
+    """
+
+    __slots__ = ("_n", "_edges", "_adj", "_degrees", "_hash")
+
+    def __init__(self, n: int, edges: Iterable[Edge | Tuple[int, int, int, int]]):
+        if n <= 0:
+            raise PortGraphError(f"graph needs at least one node, got n={n}")
+        norm: List[Edge] = []
+        for e in edges:
+            if not isinstance(e, Edge):
+                e = Edge(*e)
+            norm.append(e)
+
+        # adjacency: node -> port -> (neighbor, neighbor's port)
+        adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+        seen_pairs = set()
+        for e in norm:
+            if not (0 <= e.u < n and 0 <= e.v < n):
+                raise PortGraphError(f"edge {e} references a node outside [0, {n})")
+            if e.u == e.v:
+                raise PortGraphError(f"self-loop at node {e.u} is not allowed")
+            key = (min(e.u, e.v), max(e.u, e.v))
+            if key in seen_pairs:
+                raise PortGraphError(f"parallel edge between {e.u} and {e.v}")
+            seen_pairs.add(key)
+            if e.pu in adj[e.u]:
+                raise PortGraphError(f"duplicate port {e.pu} at node {e.u}")
+            if e.pv in adj[e.v]:
+                raise PortGraphError(f"duplicate port {e.pv} at node {e.v}")
+            adj[e.u][e.pu] = (e.v, e.pv)
+            adj[e.v][e.pv] = (e.u, e.pu)
+
+        degrees: List[int] = []
+        for v, ports in enumerate(adj):
+            deg = len(ports)
+            if set(ports.keys()) != set(range(deg)):
+                raise PortGraphError(
+                    f"node {v}: ports must be exactly 0..{deg - 1}, got {sorted(ports)}"
+                )
+            degrees.append(deg)
+
+        # Freeze into tuples for immutability and fast access.
+        object.__setattr__  # appease linters; we use __slots__ assignment below
+        self._n = n
+        self._edges = tuple(
+            sorted(norm, key=lambda e: (min(e.u, e.v), max(e.u, e.v)))
+        )
+        self._adj = tuple(
+            tuple(ports[p] for p in range(len(ports))) for ports in adj
+        )
+        self._degrees = tuple(degrees)
+        self._hash = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return self._edges
+
+    def nodes(self) -> range:
+        return range(self._n)
+
+    def degree(self, v: int) -> int:
+        return self._degrees[v]
+
+    @property
+    def max_degree(self) -> int:
+        return max(self._degrees)
+
+    @property
+    def min_degree(self) -> int:
+        return min(self._degrees)
+
+    def traverse(self, v: int, port: int) -> Tuple[int, int]:
+        """Walk out of ``v`` through ``port``.
+
+        Returns ``(u, q)``: the neighbor reached and the port of the edge at
+        that neighbor (the "entry port" a robot observes on arrival).
+        """
+        try:
+            return self._adj[v][port]
+        except IndexError:
+            raise PortGraphError(
+                f"node {v} has degree {self._degrees[v]}; port {port} is invalid"
+            ) from None
+
+    def neighbor(self, v: int, port: int) -> int:
+        """The node reached by leaving ``v`` through ``port``."""
+        return self._adj[v][port][0]
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        """All neighbors of ``v``, in port order."""
+        return (u for (u, _q) in self._adj[v])
+
+    def ports(self, v: int) -> range:
+        return range(self._degrees[v])
+
+    def port_to(self, v: int, u: int) -> int:
+        """The (smallest) port at ``v`` leading to ``u``.
+
+        Simulator-side helper; robots cannot call this (they do not know node
+        identities).
+        """
+        for p, (w, _q) in enumerate(self._adj[v]):
+            if w == u:
+                return p
+        raise PortGraphError(f"{u} is not adjacent to {v}")
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        if self._n == 1:
+            return True
+        seen = [False] * self._n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for (u, _q) in self._adj[v]:
+                if not seen[u]:
+                    seen[u] = True
+                    count += 1
+                    stack.append(u)
+        return count == self._n
+
+    # ------------------------------------------------------------------
+    # Interop & dunder protocol
+    # ------------------------------------------------------------------
+    def adjacency(self) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """Raw adjacency: ``adjacency()[v][p] == (u, q)``."""
+        return self._adj
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` with port attributes.
+
+        Edge attributes ``port_u``/``port_v`` record the port at the lower-
+        and higher-numbered endpoint respectively.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        for e in self._edges:
+            a, b = sorted((e.u, e.v))
+            pa = e.pu if a == e.u else e.pv
+            pb = e.pv if b == e.v else e.pu
+            g.add_edge(a, b, port_u=pa, port_v=pb)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, numbering: str = "canonical", seed: int = 0) -> "PortGraph":
+        """Build a :class:`PortGraph` from a networkx graph.
+
+        Nodes are relabeled ``0..n-1`` in sorted order.  Ports are assigned
+        by :func:`repro.graphs.port_numbering.assign_ports` with the given
+        strategy.
+        """
+        from repro.graphs.port_numbering import assign_ports
+
+        nodes = sorted(g.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        pairs = sorted(
+            (min(index[a], index[b]), max(index[a], index[b])) for a, b in g.edges()
+        )
+        return assign_ports(len(nodes), pairs, strategy=numbering, seed=seed)
+
+    def relabel(self, perm: Sequence[int]) -> "PortGraph":
+        """Apply a node permutation, keeping every port number.
+
+        ``perm[v]`` is the new name of node ``v``.  The result is
+        port-preservingly isomorphic to ``self`` — robots, which never see
+        node names, behave *identically* on it (a property the anonymity
+        tests assert).
+        """
+        if sorted(perm) != list(range(self._n)):
+            raise PortGraphError("perm must be a permutation of 0..n-1")
+        edges = [Edge(perm[e.u], perm[e.v], e.pu, e.pv) for e in self._edges]
+        return PortGraph(self._n, edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortGraph):
+            return NotImplemented
+        return self._n == other._n and self._adj == other._adj
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._n, self._adj))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"PortGraph(n={self._n}, m={self.m})"
+
+    # Pickle support despite __slots__ -------------------------------------
+    def __getstate__(self):
+        return (self._n, self._edges)
+
+    def __setstate__(self, state):
+        n, edges = state
+        self.__init__(n, edges)
+
+
+def build_from_pairs(
+    n: int, pairs: Sequence[Tuple[int, int]], ports: Dict[Tuple[int, int], int]
+) -> PortGraph:
+    """Assemble a :class:`PortGraph` from node pairs and a full port map.
+
+    ``ports[(u, v)]`` is the port of edge ``{u, v}`` at ``u`` (both
+    orientations must be present).  Mostly a convenience for tests that need
+    exact control over port labels.
+    """
+    edges = []
+    for (u, v) in pairs:
+        edges.append(Edge(u, v, ports[(u, v)], ports[(v, u)]))
+    return PortGraph(n, edges)

@@ -1,0 +1,193 @@
+"""Graph traversal utilities on port graphs.
+
+These run on the *simulator side* (they see node identities) and implement
+the geometric primitives the experiments and the robots' map-navigation layer
+need:
+
+* BFS layers, distances, eccentricity, diameter;
+* balls of radius ``i`` (hop-meeting's reach);
+* spanning trees and their closed Euler tours — the paper's Phase-2 finder
+  walks a spanning tree of its *map* in exactly ``2(n-1)`` moves;
+* port-walk execution and shortest port routes, used to convert map paths
+  into port sequences a robot can follow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Tuple
+
+from repro.graphs.port_graph import PortGraph, PortGraphError
+
+__all__ = [
+    "bfs_distances",
+    "bfs_layers",
+    "distance",
+    "eccentricity",
+    "diameter",
+    "ball",
+    "spanning_tree_ports",
+    "euler_tour_ports",
+    "walk",
+    "shortest_port_route",
+    "require_connected",
+    "pairwise_distances",
+]
+
+
+def require_connected(graph: PortGraph) -> None:
+    """Raise :class:`PortGraphError` unless ``graph`` is connected."""
+    if not graph.is_connected():
+        raise PortGraphError("graph must be connected for the gathering model")
+
+
+def bfs_distances(graph: PortGraph, source: int) -> List[int]:
+    """Hop distance from ``source`` to every node (``-1`` if unreachable)."""
+    dist = [-1] * graph.n
+    dist[source] = 0
+    q = deque([source])
+    while q:
+        v = q.popleft()
+        for u in graph.neighbors(v):
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                q.append(u)
+    return dist
+
+
+def bfs_layers(graph: PortGraph, source: int) -> List[List[int]]:
+    """Nodes grouped by distance from ``source`` (layer 0 = the source)."""
+    dist = bfs_distances(graph, source)
+    radius = max(dist)
+    layers: List[List[int]] = [[] for _ in range(radius + 1)]
+    for v, d in enumerate(dist):
+        if d >= 0:
+            layers[d].append(v)
+    return layers
+
+
+def distance(graph: PortGraph, u: int, v: int) -> int:
+    """Hop distance between two nodes."""
+    return bfs_distances(graph, u)[v]
+
+
+def pairwise_distances(graph: PortGraph) -> List[List[int]]:
+    """All-pairs hop distances (BFS from every node; fine at repo scale)."""
+    return [bfs_distances(graph, v) for v in graph.nodes()]
+
+
+def eccentricity(graph: PortGraph, v: int) -> int:
+    return max(bfs_distances(graph, v))
+
+
+def diameter(graph: PortGraph) -> int:
+    return max(eccentricity(graph, v) for v in graph.nodes())
+
+
+def ball(graph: PortGraph, center: int, radius: int) -> List[int]:
+    """All nodes within ``radius`` hops of ``center`` (center included)."""
+    dist = bfs_distances(graph, center)
+    return [v for v, d in enumerate(dist) if 0 <= d <= radius]
+
+
+def spanning_tree_ports(
+    graph: PortGraph, root: int
+) -> Dict[int, List[Tuple[int, int, int]]]:
+    """BFS spanning tree as per-node child lists.
+
+    Returns ``tree[v] = [(child, port_out, port_back), ...]`` in increasing
+    ``port_out`` order.  ``port_out`` is the port at ``v`` leading to
+    ``child``; ``port_back`` the reverse port.
+    """
+    tree: Dict[int, List[Tuple[int, int, int]]] = {v: [] for v in graph.nodes()}
+    seen = [False] * graph.n
+    seen[root] = True
+    q = deque([root])
+    while q:
+        v = q.popleft()
+        for p in graph.ports(v):
+            u, back = graph.traverse(v, p)
+            if not seen[u]:
+                seen[u] = True
+                tree[v].append((u, p, back))
+                q.append(u)
+    return tree
+
+
+def euler_tour_ports(graph: PortGraph, root: int) -> List[int]:
+    """Closed Euler tour of a BFS spanning tree, as a port sequence.
+
+    Walking the returned ports from ``root`` visits every node of the
+    connected component and returns to ``root`` in exactly ``2(n'-1)`` moves
+    where ``n'`` is the component size — the Phase-2 sweep of the paper.
+    """
+    tree = spanning_tree_ports(graph, root)
+    ports: List[int] = []
+
+    stack: List[Tuple[int, int]] = [(root, 0)]
+    # iterative DFS to avoid recursion limits on path graphs
+    back_ports: List[int] = []
+    while stack:
+        v, idx = stack.pop()
+        children = tree[v]
+        if idx < len(children):
+            child, p_out, p_back = children[idx]
+            stack.append((v, idx + 1))
+            ports.append(p_out)
+            back_ports.append(p_back)
+            stack.append((child, 0))
+        else:
+            if back_ports:
+                # done with v's subtree; return to parent unless v is root
+                if stack:
+                    ports.append(back_ports.pop())
+    return ports
+
+
+def walk(graph: PortGraph, start: int, ports: Iterable[int]) -> List[int]:
+    """Execute a port walk; returns the node sequence including ``start``.
+
+    Raises :class:`PortGraphError` on an invalid port (walks produced by the
+    library are always valid; this guards hand-written test walks).
+    """
+    v = start
+    visited = [v]
+    for p in ports:
+        v, _back = graph.traverse(v, p)
+        visited.append(v)
+    return visited
+
+
+def shortest_port_route(graph: PortGraph, source: int, target: int) -> List[int]:
+    """Ports of one shortest path from ``source`` to ``target``.
+
+    Deterministic: BFS explores ports in increasing order, so the route is
+    the lexicographically-first shortest path.
+    """
+    if source == target:
+        return []
+    prev: Dict[int, Tuple[int, int]] = {}  # node -> (parent, port at parent)
+    seen = [False] * graph.n
+    seen[source] = True
+    q = deque([source])
+    while q:
+        v = q.popleft()
+        for p in graph.ports(v):
+            u = graph.neighbor(v, p)
+            if not seen[u]:
+                seen[u] = True
+                prev[u] = (v, p)
+                if u == target:
+                    q.clear()
+                    break
+                q.append(u)
+    if target not in prev:
+        raise PortGraphError(f"{target} unreachable from {source}")
+    route: List[int] = []
+    v = target
+    while v != source:
+        parent, port = prev[v]
+        route.append(port)
+        v = parent
+    route.reverse()
+    return route

@@ -1,0 +1,23 @@
+"""Map construction and navigation for finder robots.
+
+Phase 1 of ``Undispersed-Gathering`` needs each finder to learn an
+isomorphic port-labeled map of the anonymous graph.  The paper delegates
+this to the ``O(n^3)`` procedure of Dieudonné–Pelc–Peleg ("Gathering despite
+mischief"); this package provides a self-contained equivalent (DESIGN.md,
+substitution S2):
+
+* :class:`~repro.mapping.partial_map.RobotMap` — the map a robot carries:
+  nodes with degrees, resolved port edges, frontier bookkeeping, BFS routing
+  and spanning-tree Euler tours over the known part.
+* :mod:`~repro.mapping.token_map` — the token-explorer: the finder escorts
+  its helper group (a movable token), parks it across an unresolved port,
+  sweeps the known map looking for it, and thereby distinguishes "new node"
+  from "known node seen through a new edge".  Each of the ``<= 2m`` frontier
+  resolutions costs ``O(n)`` rounds, for ``O(n·m) ⊆ O(n^3)`` total, matching
+  the paper's budget.
+"""
+
+from repro.mapping.partial_map import RobotMap
+from repro.mapping.token_map import build_map_with_token
+
+__all__ = ["RobotMap", "build_map_with_token"]

@@ -1,0 +1,192 @@
+"""The partial port-labeled map a finder robot builds and navigates.
+
+``RobotMap`` is robot-side state: map node ids are the robot's own invention
+(0 = the node where mapping started) and bear no relation to the simulator's
+node numbering — tests check the final map against the truth *up to
+port-preserving isomorphism* only.
+
+The structure maintains:
+
+* per-node degree and a port table ``port -> (neighbor, back_port) | None``;
+* a FIFO frontier of unresolved ``(node, port)`` pairs;
+* BFS routing over resolved edges (:meth:`route`);
+* spanning-tree closed Euler tours over resolved edges (:meth:`euler_tour`),
+  the exactly-``2(n'-1)``-move sweep used both inside Phase 1 (token
+  detection sweeps) and as the Phase-2 gathering tour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.port_graph import Edge, PortGraph
+
+__all__ = ["RobotMap"]
+
+
+class RobotMap:
+    """A growing port-labeled map with frontier bookkeeping."""
+
+    def __init__(self, root_degree: int):
+        self.degrees: List[int] = []
+        self.adj: List[List[Optional[Tuple[int, int]]]] = []
+        self.frontier: deque[Tuple[int, int]] = deque()
+        self.add_node(root_degree)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, degree: int) -> int:
+        """Add a node with all ports unresolved; returns its map id."""
+        nid = len(self.degrees)
+        self.degrees.append(degree)
+        self.adj.append([None] * degree)
+        for p in range(degree):
+            self.frontier.append((nid, p))
+        return nid
+
+    def set_edge(self, u: int, pu: int, v: int, pv: int) -> None:
+        """Record the resolved edge ``u:pu <-> v:pv`` (both directions)."""
+        if self.adj[u][pu] is not None and self.adj[u][pu] != (v, pv):
+            raise ValueError(f"conflicting edge at map node {u} port {pu}")
+        if self.adj[v][pv] is not None and self.adj[v][pv] != (u, pu):
+            raise ValueError(f"conflicting edge at map node {v} port {pv}")
+        self.adj[u][pu] = (v, pv)
+        self.adj[v][pv] = (u, pu)
+
+    def resolved(self, u: int, p: int) -> bool:
+        return self.adj[u][p] is not None
+
+    def next_frontier(self) -> Optional[Tuple[int, int]]:
+        """Pop the next *unresolved* frontier entry (skipping stale ones)."""
+        while self.frontier:
+            u, p = self.frontier.popleft()
+            if self.adj[u][p] is None:
+                return (u, p)
+        return None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.degrees)
+
+    @property
+    def num_resolved_edges(self) -> int:
+        return sum(1 for row in self.adj for e in row if e is not None) // 2
+
+    def complete(self) -> bool:
+        """All ports of all known nodes resolved (and frontier drained)."""
+        return all(e is not None for row in self.adj for e in row)
+
+    # ------------------------------------------------------------------
+    # Navigation over the resolved part
+    # ------------------------------------------------------------------
+    def route(self, source: int, target: int) -> List[int]:
+        """Ports of a shortest resolved-edge path ``source -> target``.
+
+        Deterministic (BFS in port order).  Raises if unreachable — cannot
+        happen for nodes discovered by the token explorer, which only adds
+        nodes via resolved edges.
+        """
+        if source == target:
+            return []
+        prev: Dict[int, Tuple[int, int]] = {}
+        seen = {source}
+        q = deque([source])
+        while q:
+            v = q.popleft()
+            for p, entry in enumerate(self.adj[v]):
+                if entry is None:
+                    continue
+                u, _back = entry
+                if u not in seen:
+                    seen.add(u)
+                    prev[u] = (v, p)
+                    if u == target:
+                        q.clear()
+                        break
+                    q.append(u)
+        if target not in prev:
+            raise ValueError(f"map node {target} unreachable from {source}")
+        ports: List[int] = []
+        v = target
+        while v != source:
+            parent, port = prev[v]
+            ports.append(port)
+            v = parent
+        ports.reverse()
+        return ports
+
+    def euler_tour(self, root: int) -> Tuple[List[int], List[int]]:
+        """Closed spanning-tree tour over resolved edges from ``root``.
+
+        Returns ``(ports, nodes)`` where ``ports`` has exactly ``2(n'-1)``
+        entries (``n'`` = nodes reachable via resolved edges) and ``nodes``
+        is the visited map-node sequence (length ``2(n'-1)+1``, starting and
+        ending at ``root``).
+        """
+        # BFS spanning tree over resolved edges.
+        children: Dict[int, List[Tuple[int, int, int]]] = {root: []}
+        q = deque([root])
+        while q:
+            v = q.popleft()
+            for p, entry in enumerate(self.adj[v]):
+                if entry is None:
+                    continue
+                u, back = entry
+                if u not in children:
+                    children[u] = []
+                    children[v].append((u, p, back))
+                    q.append(u)
+
+        ports: List[int] = []
+        nodes: List[int] = [root]
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        back_stack: List[int] = []
+        while stack:
+            v, idx = stack.pop()
+            kids = children[v]
+            if idx < len(kids):
+                child, p_out, p_back = kids[idx]
+                stack.append((v, idx + 1))
+                ports.append(p_out)
+                nodes.append(child)
+                back_stack.append(p_back)
+                stack.append((child, 0))
+            else:
+                if stack:
+                    parent = stack[-1][0]
+                    ports.append(back_stack.pop())
+                    nodes.append(parent)
+        return ports, nodes
+
+    # ------------------------------------------------------------------
+    # Export / validation
+    # ------------------------------------------------------------------
+    def to_port_graph(self) -> PortGraph:
+        """Export the (complete) map as a :class:`PortGraph` for validation."""
+        if not self.complete():
+            raise ValueError("map is incomplete; cannot export")
+        edges = []
+        for u in range(self.num_nodes):
+            for p, entry in enumerate(self.adj[u]):
+                v, pv = entry  # type: ignore[misc]
+                if (u, p) < (v, pv):
+                    edges.append(Edge(u, v, p, pv))
+                elif u == v:  # pragma: no cover - self loops impossible
+                    raise ValueError("self loop in map")
+        return PortGraph(self.num_nodes, edges)
+
+    def memory_bits_estimate(self) -> int:
+        """Rough ``O(m log n)`` memory footprint of the map, in bits.
+
+        Two (node, port) pairs per resolved directed edge, each costing
+        ``~2·log2(n)`` bits.  Used by the metrics that confirm the paper's
+        memory claim shape.
+        """
+        import math
+
+        n = max(self.num_nodes, 2)
+        per_entry = 2 * math.ceil(math.log2(n))
+        entries = sum(1 for row in self.adj for e in row if e is not None)
+        return entries * per_entry

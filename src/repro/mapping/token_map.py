@@ -1,0 +1,119 @@
+"""Phase-1 map construction with a movable token (DESIGN.md substitution S2).
+
+The finder's helper group acts as a *movable token*.  The finder repeatedly
+resolves frontier edges of its partial map:
+
+1. **escort** the token along known edges to the frontier edge's source
+   ``u`` (helpers mirror the finder while its published card commands
+   ``tok="follow"``);
+2. **cross** the unresolved port together, observing the candidate node's
+   degree and the entry port ``q``;
+3. **park** the token there (one announce round publishing ``tok="hold"``,
+   then walk back to ``u`` alone);
+4. **sweep** every known map node via a spanning-tree Euler tour, checking
+   each visited node for a co-located helper of *this* group (cards carry
+   ``groupid``, so concurrent finder/token pairs never confuse each other);
+5. if the token was found at known node ``y`` — the candidate *is* ``y``:
+   record the edge and retrieve the token (one announce round publishing
+   ``tok="follow"``); otherwise the candidate is a **new node**: record it,
+   cross back to it, and retrieve the token.
+
+Each resolution costs at most one known-path walk (``<= n-1``), 3 single
+moves, 2 announce rounds and one sweep (``<= 2(n-1)``) — under ``3n + 5``
+rounds — and there are at most ``2m`` resolutions, giving the ``O(n·m) ⊆
+O(n^3)`` Phase-1 budget of :func:`repro.core.bounds.phase1_rounds`.
+
+Command/timing protocol (pinned by tests): a helper obeys the finder card it
+*sees*, which is the card the finder published in the previous round.  The
+finder therefore publishes a command one round before the behaviour change:
+``hold`` + stay, then depart; ``follow`` + stay, then move.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.mapping.partial_map import RobotMap
+from repro.sim.actions import Action, Observation
+from repro.sim.robot import RobotContext
+
+__all__ = ["build_map_with_token", "token_present"]
+
+
+def token_present(obs: Observation, groupid: int) -> bool:
+    """Is a helper of group ``groupid`` co-located?  (The token test.)"""
+    for c in obs.cards:
+        if c.get("state") == "helper" and c.get("groupid") == groupid:
+            return True
+    return False
+
+
+def build_map_with_token(
+    ctx: RobotContext,
+    obs: Observation,
+    groupid: int,
+    make_card: Callable[[str], Dict[str, Any]],
+):
+    """Finder sub-generator: build the full map; return ``(obs, map, here)``.
+
+    Preconditions: the finder and its token are co-located; the finder's
+    *currently published* card already commands ``tok="follow"`` (so the
+    token mirrors the first escorting move).  Postcondition: the map is
+    complete, the token is co-located, the finder's published card commands
+    ``tok="follow"``, and ``here`` is the map node of the current position.
+
+    The caller supplies ``make_card(tok)`` so algorithm-specific card fields
+    (state, groupid) stay under its control.
+    """
+    rmap = RobotMap(obs.degree)
+    here = 0
+
+    while True:
+        fe = rmap.next_frontier()
+        if fe is None:
+            break
+        u, p = fe
+
+        # 1. escort the token to u over known edges (card: follow)
+        for port in rmap.route(here, u):
+            obs = yield Action.move(port)
+        here = u
+
+        # 2. cross the unresolved port together
+        obs = yield Action.move(p)
+        q = obs.entry_port
+        candidate_degree = obs.degree
+
+        # 3. park the token: announce hold, then step back alone
+        obs = yield Action.stay(card=make_card("hold"))
+        obs = yield Action.move(q)
+        # (now at u; token held at the candidate)
+
+        # 4. sweep all known nodes looking for the token
+        ports, nodes = rmap.euler_tour(u)
+        found: Optional[int] = None
+        for port, at_node in zip(ports, nodes[1:]):
+            obs = yield Action.move(port)
+            if token_present(obs, groupid):
+                found = at_node
+                break
+
+        if found is not None:
+            # 5a. candidate is the known node `found`; we stand on it now.
+            rmap.set_edge(u, p, found, q)
+            here = found
+        else:
+            # 5b. full sweep, no token: candidate is new.  The tour ended
+            # back at u; record the node and go stand on it.
+            w = rmap.add_node(candidate_degree)
+            rmap.set_edge(u, p, w, q)
+            obs = yield Action.move(p)
+            here = w
+
+        # retrieve the token: announce follow, next move drags it along
+        obs = yield Action.stay(card=make_card("follow"))
+
+    ctx.stats["map_nodes"] = rmap.num_nodes
+    ctx.stats["map_edges"] = rmap.num_resolved_edges
+    ctx.stats["map_memory_bits"] = rmap.memory_bits_estimate()
+    return obs, rmap, here

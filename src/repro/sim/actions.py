@@ -1,0 +1,213 @@
+"""Actions and observations — the robot/scheduler contract.
+
+Each executed round, an active robot receives an :class:`Observation` and
+yields an :class:`Action`.  Actions are created through the factory
+classmethods (``Action.move(...)``, ``Action.sleep(...)``, ...); the
+constructor is considered private.
+
+Timing conventions (these matter; the paper's correctness arguments depend
+on them and the tests pin them down):
+
+* The *cards* in an observation at round ``r`` are the public states the
+  co-located robots published with their most recent action (round ``r-1``
+  or earlier).  This models the simultaneous broadcast of step (i): every
+  robot sees every co-located robot's state as of the start of the round.
+* A move happens at the end of the round; robots arriving at a node are
+  co-located with its occupants from round ``r+1`` onward.
+* A follow (one-round or persistent) mirrors the *resolved* move of the
+  leader in the same round, so a follower never loses its leader.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["Action", "Observation"]
+
+# Action kinds (ints for cheap dispatch).
+STAY = 0
+MOVE = 1
+SLEEP = 2
+FOLLOW = 3
+FOLLOW_ONCE = 4
+TERMINATE = 5
+
+_KIND_NAMES = {
+    STAY: "stay",
+    MOVE: "move",
+    SLEEP: "sleep",
+    FOLLOW: "follow",
+    FOLLOW_ONCE: "follow_once",
+    TERMINATE: "terminate",
+}
+
+
+class Action:
+    """One robot decision for one round.  Use the factory classmethods."""
+
+    __slots__ = (
+        "kind",
+        "port",
+        "target",
+        "wake_round",
+        "wake_on_meet",
+        "on_leader_terminate",
+        "card",
+        "note",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        port: Optional[int] = None,
+        target: Optional[int] = None,
+        wake_round: Optional[int] = None,
+        wake_on_meet: bool = False,
+        on_leader_terminate: str = "terminate",
+        card: Optional[Dict[str, Any]] = None,
+        note: Optional[str] = None,
+    ):
+        self.kind = kind
+        self.port = port
+        self.target = target
+        self.wake_round = wake_round
+        self.wake_on_meet = wake_on_meet
+        self.on_leader_terminate = on_leader_terminate
+        self.card = card
+        self.note = note
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def stay(cls, card: Optional[Dict[str, Any]] = None, note: Optional[str] = None) -> "Action":
+        """Remain on the current node this round."""
+        return cls(STAY, card=card, note=note)
+
+    @classmethod
+    def move(cls, port: int, card: Optional[Dict[str, Any]] = None, note: Optional[str] = None) -> "Action":
+        """Move through ``port`` at the end of this round."""
+        return cls(MOVE, port=port, card=card, note=note)
+
+    @classmethod
+    def sleep(
+        cls,
+        until_round: Optional[int],
+        wake_on_meet: bool = False,
+        card: Optional[Dict[str, Any]] = None,
+        note: Optional[str] = None,
+    ) -> "Action":
+        """Do nothing until ``until_round`` (exclusive of action, i.e. the
+        robot next acts *at* ``until_round``).
+
+        ``until_round=None`` sleeps forever (requires ``wake_on_meet=True``
+        to be wakeable at all).  With ``wake_on_meet=True`` the robot is
+        woken early — at the round following another robot's arrival on its
+        node — and must inspect ``obs.round`` to see how long it actually
+        slept.
+        """
+        return cls(SLEEP, wake_round=until_round, wake_on_meet=wake_on_meet, card=card, note=note)
+
+    @classmethod
+    def follow(
+        cls,
+        target_label: int,
+        until_round: Optional[int] = None,
+        on_leader_terminate: str = "terminate",
+        card: Optional[Dict[str, Any]] = None,
+        note: Optional[str] = None,
+    ) -> "Action":
+        """Mirror the moves of the co-located robot labeled ``target_label``.
+
+        Persistent: the robot's program is suspended until ``until_round``
+        (if given).  ``on_leader_terminate`` selects what happens when the
+        (transitive) leader terminates: ``"terminate"`` terminates this
+        robot too (the paper's followers terminate with their leader,
+        Lemma 4); ``"wake"`` resumes the program the following round.
+        """
+        if on_leader_terminate not in ("terminate", "wake"):
+            raise ValueError("on_leader_terminate must be 'terminate' or 'wake'")
+        return cls(
+            FOLLOW,
+            target=target_label,
+            wake_round=until_round,
+            on_leader_terminate=on_leader_terminate,
+            card=card,
+            note=note,
+        )
+
+    @classmethod
+    def follow_once(
+        cls, target_label: int, card: Optional[Dict[str, Any]] = None, note: Optional[str] = None
+    ) -> "Action":
+        """Mirror the leader's move this round only; program resumes next round."""
+        return cls(FOLLOW_ONCE, target=target_label, card=card, note=note)
+
+    @classmethod
+    def terminate(cls, card: Optional[Dict[str, Any]] = None, note: Optional[str] = None) -> "Action":
+        """Stop forever.  The robot stays on its node as a passive occupant."""
+        return cls(TERMINATE, card=card, note=note)
+
+    # ------------------------------------------------------------------
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES[self.kind]
+
+    def __repr__(self) -> str:
+        parts = [self.kind_name]
+        if self.port is not None:
+            parts.append(f"port={self.port}")
+        if self.target is not None:
+            parts.append(f"target={self.target}")
+        if self.wake_round is not None:
+            parts.append(f"wake={self.wake_round}")
+        return f"Action({', '.join(parts)})"
+
+
+class Observation:
+    """What a robot perceives at the start of a round.
+
+    Attributes
+    ----------
+    round:
+        Current round number (rounds start at 0).
+    degree:
+        Degree of the node the robot stands on.
+    entry_port:
+        Port through which the robot entered this node on its most recent
+        move, or ``None`` if it has never moved.
+    cards:
+        Tuple of the public cards of *all* robots co-located on this node
+        (including this robot's own card), sorted by label.  Cards are plain
+        dicts; treat them as read-only.  Every card carries at least
+        ``"id"`` (the robot's label).
+    """
+
+    __slots__ = ("round", "degree", "entry_port", "cards")
+
+    def __init__(
+        self,
+        round_: int,
+        degree: int,
+        entry_port: Optional[int],
+        cards: Tuple[Mapping[str, Any], ...],
+    ):
+        self.round = round_
+        self.degree = degree
+        self.entry_port = entry_port
+        self.cards = cards
+
+    def others(self, own_label: int) -> Tuple[Mapping[str, Any], ...]:
+        """Co-located cards excluding this robot's own."""
+        return tuple(c for c in self.cards if c.get("id") != own_label)
+
+    def alone(self, own_label: int) -> bool:
+        """True iff no other robot shares the node."""
+        return all(c.get("id") == own_label for c in self.cards)
+
+    def __repr__(self) -> str:
+        ids = [c.get("id") for c in self.cards]
+        return (
+            f"Observation(round={self.round}, degree={self.degree}, "
+            f"entry_port={self.entry_port}, ids={ids})"
+        )

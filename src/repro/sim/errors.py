@@ -1,0 +1,45 @@
+"""Simulator exceptions."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "SimulationTimeout",
+    "SimulationDeadlock",
+    "ProtocolViolation",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class SimulationTimeout(SimulationError):
+    """The run exceeded ``max_rounds`` without every robot terminating.
+
+    For the deterministic algorithms in this library a timeout is always a
+    bug (their schedules are bounded); the exception carries the round count
+    and per-robot status to aid debugging.
+    """
+
+    def __init__(self, round_: int, detail: str = ""):
+        super().__init__(f"simulation exceeded {round_} rounds{': ' + detail if detail else ''}")
+        self.round = round_
+
+
+class SimulationDeadlock(SimulationError):
+    """No robot can ever act again, yet not all robots have terminated.
+
+    Happens when every non-terminated robot sleeps forever with no possible
+    wake-up (no movers left, no finite wake round).  Deterministic gathering
+    algorithms must never reach this state; the scheduler surfaces it rather
+    than spinning.
+    """
+
+
+class ProtocolViolation(SimulationError):
+    """A robot program broke the action protocol.
+
+    Examples: moving through an out-of-range port, following a robot that is
+    not co-located, yielding after terminating, or sleeping into the past.
+    """

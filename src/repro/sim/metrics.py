@@ -1,0 +1,89 @@
+"""Run metrics.
+
+The paper's cost model counts *rounds*; movement is the expensive resource.
+We additionally track per-robot moves and the rounds in which each robot was
+actually computing ("active rounds"), which separates the oblivious schedule
+length (rounds) from the real work performed (moves) — the distinction
+EXPERIMENTS.md leans on when comparing measured curves with the theoretical
+bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["RunMetrics", "card_bits"]
+
+
+def card_bits(card: Mapping[str, Any]) -> int:
+    """A stable size estimate of a published card, in bits.
+
+    The paper's closing question is what happens when message size is
+    restricted; this estimator (string-serialized key/value payload, 8 bits
+    per character) lets experiments audit how much the algorithms actually
+    say.  It intentionally over-counts (field names included) — the audit is
+    about orders of magnitude (`O(log n)` vs more), not byte exactness.
+    """
+    total = 0
+    for k, v in card.items():
+        total += 8 * (len(str(k)) + len(str(v)))
+    return total
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated counters for one simulation run.
+
+    Attributes
+    ----------
+    rounds:
+        Total simulated rounds (including fast-forwarded idle rounds) —
+        the value to compare against the paper's round bounds.
+    rounds_executed:
+        Rounds the scheduler actually processed (wall-clock proxy).
+    total_moves:
+        Sum of edge traversals over all robots (the "cost" metric of the
+        wider literature).
+    max_moves:
+        Maximum edge traversals by a single robot.
+    moves_by_robot / active_rounds_by_robot:
+        Per-robot breakdowns keyed by label.
+    first_gather_round:
+        First round at which all robots were co-located, or ``None`` if it
+        never happened.  This is "gathering time" without detection.
+    last_termination_round:
+        Round at which the final robot terminated (gathering *with
+        detection* time), or ``None``.
+    gathered_at_end:
+        Whether all robots were co-located when the run ended.
+    terminations_all_gathered:
+        True iff every robot terminated while all robots were co-located —
+        the correctness condition of gathering with detection.
+    """
+
+    rounds: int = 0
+    rounds_executed: int = 0
+    total_moves: int = 0
+    max_moves: int = 0
+    moves_by_robot: Dict[int, int] = field(default_factory=dict)
+    active_rounds_by_robot: Dict[int, int] = field(default_factory=dict)
+    first_gather_round: Optional[int] = None
+    last_termination_round: Optional[int] = None
+    gathered_at_end: bool = False
+    terminations_all_gathered: bool = True
+    #: Largest single card any robot ever published (see :func:`card_bits`)
+    #: — the message-size audit of the paper's final future-work question.
+    max_card_bits: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rounds": self.rounds,
+            "rounds_executed": self.rounds_executed,
+            "total_moves": self.total_moves,
+            "max_moves": self.max_moves,
+            "first_gather_round": self.first_gather_round,
+            "last_termination_round": self.last_termination_round,
+            "gathered_at_end": self.gathered_at_end,
+            "terminations_all_gathered": self.terminations_all_gathered,
+        }

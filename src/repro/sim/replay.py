@@ -1,0 +1,110 @@
+"""Replay recording and ASCII visualization of simulation runs.
+
+A :class:`ReplayRecorder` snapshots robot positions after every *executed*
+round (fast-forwarded idle stretches collapse to a single unchanged frame).
+The recording can be rendered as an ASCII timeline — robots as columns of a
+node-strip — which is the debugging view the examples use to *show* an
+algorithm working rather than assert it.
+
+Intended for small instances (the frames are dense); recorders accept a
+``max_frames`` cap and then subsample by keeping every ``stride``-th frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Frame", "ReplayRecorder", "render_strip"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Positions (label -> node) at the end of one executed round."""
+
+    round: int
+    positions: Tuple[Tuple[int, int], ...]  # sorted (label, node) pairs
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self.positions)
+
+
+class ReplayRecorder:
+    """Collects per-round position frames.
+
+    Pass to ``World.run(replay=...)``.  With ``changes_only=True`` (default)
+    a frame is stored only when some robot moved — waiting-dominated
+    schedules stay compact.
+    """
+
+    def __init__(self, max_frames: int = 10_000, changes_only: bool = True):
+        if max_frames < 2:
+            raise ValueError("max_frames must be >= 2")
+        self.frames: List[Frame] = []
+        self.max_frames = max_frames
+        self.changes_only = changes_only
+        self._last: Optional[Tuple[Tuple[int, int], ...]] = None
+        self.dropped = 0
+
+    def snapshot(self, round_: int, positions: Dict[int, int]) -> None:
+        snap = tuple(sorted(positions.items()))
+        if self.changes_only and snap == self._last:
+            return
+        self._last = snap
+        if len(self.frames) >= self.max_frames:
+            # subsample: drop every other frame, double the effective stride
+            self.frames = self.frames[::2]
+            self.dropped += 1
+        self.frames.append(Frame(round_, snap))
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+
+def render_strip(
+    recorder: ReplayRecorder,
+    n: int,
+    max_rows: int = 40,
+    node_width: Optional[int] = None,
+) -> str:
+    """Render frames as an ASCII timeline.
+
+    One line per (sub-sampled) frame: nodes as cells ``0 .. n-1``, each cell
+    showing how many robots occupy it (``.`` for zero, the count for 1-9,
+    ``*`` for 10+).  Works for any graph — the strip is node-index order,
+    so it reads most naturally on paths and rings.
+    """
+    frames = list(recorder.frames)
+    if not frames:
+        return "(no frames recorded)"
+    if len(frames) > max_rows:
+        stride = (len(frames) + max_rows - 1) // max_rows
+        sampled = frames[::stride]
+        if sampled[-1] is not frames[-1]:
+            sampled.append(frames[-1])
+        frames = sampled
+    width = node_width if node_width is not None else 1
+    round_pad = len(f"{frames[-1].round}")
+
+    lines = [
+        f"{'round'.rjust(round_pad)} | "
+        + " ".join(str(v % 10).rjust(width) for v in range(n))
+    ]
+    lines.append("-" * len(lines[0]))
+    for fr in frames:
+        counts = [0] * n
+        for _label, node in fr.positions:
+            counts[node] += 1
+        cells = []
+        for c in counts:
+            if c == 0:
+                cells.append(".".rjust(width))
+            elif c < 10:
+                cells.append(str(c).rjust(width))
+            else:
+                cells.append("*".rjust(width))
+        lines.append(f"{str(fr.round).rjust(round_pad)} | " + " ".join(cells))
+    return "\n".join(lines)

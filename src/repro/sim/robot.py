@@ -1,0 +1,124 @@
+"""Robot programs and per-robot simulator state.
+
+A robot *program* is a generator function::
+
+    def program(ctx: RobotContext):
+        obs = yield                      # bootstrap: receive round-0 observation
+        while ...:
+            obs = yield Action.move(0)   # act, receive next observation
+
+The first statement must be a bare ``yield`` (the scheduler primes the
+generator before round 0).  Afterwards, every ``yield action`` receives the
+observation of the round in which the robot next acts — the following round
+for ordinary actions, the wake round for sleeps and persistent follows.
+
+Programs interact with the world *only* through observations and actions;
+:class:`RobotContext` carries the static knowledge the model grants (the
+robot's label and ``n``) plus any explicitly granted extras (e.g. the
+maximum degree for the Remark-14 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.sim.actions import Action, Observation
+
+__all__ = ["RobotContext", "RobotSpec", "Program", "ProgramFactory"]
+
+Program = Generator[Optional[Action], Observation, None]
+ProgramFactory = Callable[["RobotContext"], Program]
+
+
+@dataclass
+class RobotContext:
+    """Static, model-sanctioned knowledge of one robot.
+
+    Attributes
+    ----------
+    label:
+        The robot's unique ID in ``[1, n^b]`` (the paper's label ``ℓ``).
+    n:
+        Number of nodes of the graph — the only graph parameter robots know.
+    knowledge:
+        Explicitly granted extra knowledge for ablations; keys used by the
+        library: ``"max_degree"`` (Remark 14), ``"hop_distance"``
+        (Remark 13).  Absent keys mean "unknown", as in the base model.
+    stats:
+        A scratch dict the program may fill with algorithm-specific metrics
+        (map sizes, phase boundaries, ...).  Collected into the run result.
+    """
+
+    label: int
+    n: int
+    knowledge: Dict[str, Any] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RobotSpec:
+    """What the experimenter provides per robot: label, start node, program."""
+
+    label: int
+    start: int
+    factory: ProgramFactory
+    knowledge: Dict[str, Any] = field(default_factory=dict)
+
+
+# Robot status constants used by the scheduler.
+ACTIVE = 0
+SLEEPING = 1
+FOLLOWING = 2
+TERMINATED = 3
+
+STATUS_NAMES = {ACTIVE: "active", SLEEPING: "sleeping", FOLLOWING: "following", TERMINATED: "terminated"}
+
+
+class RobotState:
+    """Scheduler-side mutable state of one robot (not robot-visible)."""
+
+    __slots__ = (
+        "rid",
+        "label",
+        "ctx",
+        "gen",
+        "node",
+        "entry_port",
+        "card",
+        "status",
+        "wake_round",
+        "wake_on_meet",
+        "woken_early",
+        "leader_label",
+        "on_leader_terminate",
+        "moves",
+        "active_rounds",
+        "terminated_round",
+        "pending_action",
+    )
+
+    def __init__(self, rid: int, spec: RobotSpec, n: int):
+        self.rid = rid
+        self.label = spec.label
+        self.ctx = RobotContext(label=spec.label, n=n, knowledge=dict(spec.knowledge))
+        self.gen = spec.factory(self.ctx)
+        self.node = spec.start
+        self.entry_port: Optional[int] = None
+        self.card: Dict[str, Any] = {"id": spec.label}
+        self.status = ACTIVE
+        self.wake_round: Optional[int] = None
+        self.wake_on_meet = False
+        self.woken_early = False
+        self.leader_label: Optional[int] = None
+        self.on_leader_terminate = "terminate"
+        self.moves = 0
+        self.active_rounds = 0
+        self.terminated_round: Optional[int] = None
+        self.pending_action: Optional[Action] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RobotState(label={self.label}, node={self.node}, "
+            f"status={STATUS_NAMES[self.status]})"
+        )

@@ -1,0 +1,79 @@
+"""Event tracing for simulation runs.
+
+Tracing is optional (``World.run(trace=TraceRecorder())``) and records a
+flat list of :class:`Event` tuples.  Events are intended for debugging and
+the examples' narrative output; metrics aggregation lives in
+:mod:`repro.sim.metrics` and does not require tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional
+
+__all__ = ["Event", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace record.
+
+    ``kind`` is one of ``move``, ``meet``, ``wake``, ``sleep``, ``follow``,
+    ``terminate``, ``note``, ``jump``.  ``robot`` is the robot label (or
+    ``None`` for scheduler-level events such as time jumps); ``data`` is a
+    small kind-specific payload.
+    """
+
+    round: int
+    kind: str
+    robot: Optional[int]
+    data: Any = None
+
+
+class TraceRecorder:
+    """Collects events; optionally bounded to keep long runs cheap.
+
+    Parameters
+    ----------
+    limit:
+        Maximum number of events retained (oldest kept).  ``None`` keeps
+        everything — fine for examples, unwise for ``Õ(n^5)`` schedules.
+    kinds:
+        If given, only these event kinds are recorded.
+    """
+
+    def __init__(self, limit: Optional[int] = None, kinds: Optional[Iterable[str]] = None):
+        self.events: List[Event] = []
+        self.limit = limit
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.dropped = 0
+
+    def record(self, round_: int, kind: str, robot: Optional[int], data: Any = None) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(Event(round_, kind, robot, data))
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_robot(self, label: int) -> List[Event]:
+        return [e for e in self.events if e.robot == label]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-event dump (examples use this)."""
+        lines = []
+        for e in self.events:
+            who = f"robot {e.robot}" if e.robot is not None else "scheduler"
+            lines.append(f"[round {e.round:>8}] {who:>12} {e.kind}: {e.data}")
+        if self.dropped:
+            lines.append(f"... and {self.dropped} more events dropped (limit={self.limit})")
+        return "\n".join(lines)

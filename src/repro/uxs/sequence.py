@@ -1,0 +1,74 @@
+"""UXS plans and walk semantics.
+
+The walk rule is the standard one for exploration sequences: a robot that
+entered its current node through port ``e`` (``e = 0`` before the first
+move) and reads symbol ``σ`` leaves through port ``(e + σ) mod δ``.  The
+same rule is implemented twice — once here for simulator-side verification
+walks, and once inside robot programs (which can only observe degree and
+entry port); tests cross-check the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.graphs.port_graph import PortGraph
+
+__all__ = ["UxsPlan", "exploration_walk", "next_port"]
+
+
+def next_port(entry_port: int, symbol: int, degree: int) -> int:
+    """The exploration-sequence step rule."""
+    if degree <= 0:
+        raise ValueError("degree must be positive")
+    return (entry_port + symbol) % degree
+
+
+@dataclass(frozen=True)
+class UxsPlan:
+    """A concrete exploration sequence for a given ``n``.
+
+    Attributes
+    ----------
+    n:
+        The node budget the plan was built for.
+    offsets:
+        The symbols ``σ_0 .. σ_{T-1}``.  ``T = len(offsets)`` is the
+        exploration-phase length every robot uses.
+    provenance:
+        How the plan was produced (``"practical"``, ``"exhaustive"``, or
+        ``"fixed"``), recorded into experiment reports.
+    """
+
+    n: int
+    offsets: Tuple[int, ...]
+    provenance: str = "fixed"
+
+    @property
+    def T(self) -> int:
+        return len(self.offsets)
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+
+def exploration_walk(
+    graph: PortGraph, offsets: Sequence[int], start: int, entry_port: int = 0
+) -> List[int]:
+    """Simulator-side execution of an exploration sequence.
+
+    Returns the node sequence (length ``len(offsets) + 1``, starting with
+    ``start``).  Used by the verifier and by tests that cross-check robot
+    behaviour.
+    """
+    v = start
+    e = entry_port
+    out = [v]
+    traverse = graph.traverse
+    degree = graph.degree
+    for sym in offsets:
+        p = (e + sym) % degree(v)
+        v, e = traverse(v, p)
+        out.append(v)
+    return out

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.port_graph import PortGraph
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World, RunResult
+
+
+def small_battery() -> List[PortGraph]:
+    """A deterministic mixed bag of small graphs used by integration tests."""
+    return [
+        gg.ring(8),
+        gg.path(7),
+        gg.grid(3, 3),
+        gg.complete(6),
+        gg.star(7),
+        gg.binary_tree(7),
+        gg.lollipop(8),
+        gg.erdos_renyi(9, seed=3),
+        gg.random_regular(8, 3, seed=5),
+        gg.ring(8, numbering="random", seed=11),
+        gg.erdos_renyi(9, seed=3, numbering="random"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def battery() -> List[PortGraph]:
+    return small_battery()
+
+
+def run_world(
+    graph: PortGraph,
+    placement: Sequence[int],
+    labels: Sequence[int],
+    factory,
+    knowledge: Optional[Dict] = None,
+    strict: bool = True,
+    **run_kwargs,
+) -> RunResult:
+    """Build a world with one shared program factory and run it."""
+    specs = [
+        RobotSpec(label=l, start=s, factory=factory, knowledge=dict(knowledge or {}))
+        for l, s in zip(labels, placement)
+    ]
+    return World(graph, specs, strict=strict).run(**run_kwargs)

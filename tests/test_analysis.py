@@ -1,0 +1,99 @@
+"""Tests for the experiment runner, fitting, and tables."""
+
+import pytest
+
+from repro.analysis.experiments import GatheringRun, regime_for, run_gathering, verify_uxs_for_graph
+from repro.analysis.fitting import loglog_slope, slope_within
+from repro.analysis.tables import format_value, render_table
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.graphs import generators as gg
+
+
+class TestRegimes:
+    def test_boundaries(self):
+        n = 12
+        assert regime_for(7, n) == "n3"       # >= 7
+        assert regime_for(6, n) == "n4logn"   # 5..6
+        assert regime_for(5, n) == "n4logn"
+        assert regime_for(4, n) == "n5"
+
+    def test_k_over_n(self):
+        assert regime_for(20, 10) == "n3"
+
+
+class TestRunGathering:
+    def test_full_record(self):
+        g = gg.ring(8)
+        run = run_gathering(
+            "faster", g, [0, 0, 4], [3, 7, 12], lambda: faster_gathering_program()
+        )
+        assert run.gathered and run.detected
+        assert run.n == 8 and run.k == 3
+        assert run.min_pair_distance == 0
+        row = run.as_row()
+        assert row["algorithm"] == "faster"
+        assert row["rounds"] == run.rounds
+
+    def test_misaligned_inputs(self):
+        g = gg.ring(6)
+        with pytest.raises(ValueError):
+            run_gathering("x", g, [0, 1], [3], lambda: undispersed_gathering_program())
+
+    def test_uxs_verification_runs(self):
+        verify_uxs_for_graph(gg.ring(8))  # should not raise
+
+    def test_knowledge_passed_through(self):
+        g = gg.ring(10)
+        run = run_gathering(
+            "faster-hint", g, [0, 1], [3, 9],
+            lambda: faster_gathering_program(),
+            knowledge={"hop_distance": 1},
+        )
+        assert run.gathered and run.detected
+
+
+class TestFitting:
+    def test_exact_power_law(self):
+        ns = [8, 16, 32, 64]
+        ys = [n**3 for n in ns]
+        assert abs(loglog_slope(ns, ys) - 3.0) < 1e-9
+
+    def test_slope_within(self):
+        ns = [8, 16, 32]
+        ys = [2 * n**2 for n in ns]
+        ok, s = slope_within(ns, ys, claimed=3.0)
+        assert ok and abs(s - 2.0) < 1e-9
+        ok, _ = slope_within(ns, ys, claimed=1.0, tol=0.4)
+        assert not ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([2, 2], [1, 1])
+        with pytest.raises(ValueError):
+            loglog_slope([2, 4], [1, 2, 3])
+
+
+class TestTables:
+    def test_render_basic(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": None}]
+        out = render_table(rows, title="t")
+        assert "t" in out and "22" in out and "-" in out
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(1234567) == "1.23e+06"
+        assert format_value(0.0) == "0"

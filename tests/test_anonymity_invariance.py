@@ -1,0 +1,84 @@
+"""Anonymity invariance: algorithms cannot depend on node names.
+
+The strongest structural test in the suite.  If a node permutation is
+applied to the graph (ports untouched — a port-preserving isomorphism) and
+to the start positions, every robot receives the *identical* observation
+sequence, so the entire run must be identical: same round count, same move
+counts, and final positions that correspond under the permutation.
+
+Any accidental leak of simulator node identities into robot behaviour
+(through ordering, hashing, or API slips) breaks this test.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.placement import assign_labels, dispersed_random, undispersed_placement
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.hop_meeting import hop_meeting_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+from tests.conftest import run_world
+
+
+def run_pair(graph, starts, labels, factory_fn):
+    """Run on the graph and on a relabeled copy; return both results+perm."""
+    rng = random.Random(13)
+    perm = list(range(graph.n))
+    rng.shuffle(perm)
+    relabeled = graph.relabel(perm)
+    a = run_world(graph, starts, labels, factory_fn())
+    b = run_world(relabeled, [perm[s] for s in starts], labels, factory_fn())
+    return a, b, perm
+
+
+ALGOS = [
+    ("undispersed", undispersed_gathering_program),
+    ("uxs", uxs_gathering_program),
+    ("faster", faster_gathering_program),
+    ("hop2", lambda: hop_meeting_program(2)),
+]
+
+
+@pytest.mark.parametrize("name,factory_fn", ALGOS, ids=[n for n, _ in ALGOS])
+def test_runs_identical_under_relabeling(name, factory_fn):
+    graph = gg.erdos_renyi(9, seed=8, numbering="random")
+    if name == "undispersed":
+        starts = undispersed_placement(graph, 4, seed=3)
+    else:
+        starts = dispersed_random(graph, 4, seed=3)
+    labels = assign_labels(4, graph.n, seed=3)
+
+    a, b, perm = run_pair(graph, starts, labels, factory_fn)
+    assert a.rounds == b.rounds
+    assert a.metrics.total_moves == b.metrics.total_moves
+    assert a.metrics.moves_by_robot == b.metrics.moves_by_robot
+    assert a.metrics.first_gather_round == b.metrics.first_gather_round
+    for label, node in a.positions.items():
+        assert b.positions[label] == perm[node]
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_relabel_invariance_property(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(6, 10)
+    graph = gg.erdos_renyi(n, seed=seed % 89, numbering="random")
+    k = rng.randrange(2, 5)
+    starts = [rng.randrange(n) for _ in range(k)]
+    labels = sorted(rng.sample(range(1, n * n), k))
+
+    a, b, perm = run_pair(graph, starts, labels, faster_gathering_program)
+    assert a.rounds == b.rounds
+    assert a.detected == b.detected
+    for label, node in a.positions.items():
+        assert b.positions[label] == perm[node]
+
+
+def test_relabel_validation():
+    g = gg.ring(5)
+    with pytest.raises(Exception, match="permutation"):
+        g.relabel([0, 1, 2, 3, 3])

@@ -1,0 +1,72 @@
+"""Property: the radius-i ball DFS visits exactly the i-ball and returns.
+
+`ball_dfs` is the engine of i-Hop-Meeting; Lemma 10's meeting guarantee
+needs it to (a) visit every node within i hops, (b) return to its start,
+(c) never exceed the padded cycle budget.  We drive a probe robot through
+it and read the ground truth from a replay recording.
+"""
+
+import pytest
+
+from repro.core import bounds
+from repro.core.hop_meeting import ball_dfs
+from repro.graphs import generators as gg
+from repro.graphs.traversal import ball
+from repro.sim.actions import Action
+from repro.sim.replay import ReplayRecorder
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+
+def probe_factory(radius):
+    def factory(ctx):
+        def program(ctx=ctx):
+            obs = yield
+            obs, leader = yield from ball_dfs(obs, radius, ctx.label)
+            assert leader is None  # probe runs alone
+            yield Action.terminate()
+
+        return program(ctx)
+
+    return factory
+
+
+GRAPHS = [
+    ("ring", gg.ring(10)),
+    ("path", gg.path(8)),
+    ("star", gg.star(8)),
+    ("grid", gg.grid(3, 4)),
+    ("btree", gg.binary_tree(9)),
+    ("er", gg.erdos_renyi(10, seed=4)),
+    ("lollipop", gg.lollipop(9)),
+    ("ring-rand", gg.ring(10, numbering="random", seed=6)),
+]
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3])
+@pytest.mark.parametrize("name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
+def test_ball_dfs_visits_exactly_the_ball(name, graph, radius):
+    for start in (0, graph.n // 2):
+        rec = ReplayRecorder(changes_only=False)
+        World(graph, [RobotSpec(5, start, probe_factory(radius))]).run(replay=rec)
+        visited = {f.as_dict()[5] for f in rec}
+        expected = set(ball(graph, start, radius))
+        assert visited == expected, (name, radius, start)
+        # returns home
+        assert rec.frames[-1].as_dict()[5] == start
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_ball_dfs_moves_within_budget(radius):
+    g = gg.complete(7)  # degree n-1 everywhere: the tight case
+    rec = ReplayRecorder(changes_only=False)
+    res = World(g, [RobotSpec(5, 0, probe_factory(radius))]).run(replay=rec)
+    budget = bounds.hop_cycle_length(radius, g.n)
+    assert res.metrics.total_moves <= budget
+
+
+def test_ball_dfs_radius_zero_ball_is_start_only():
+    g = gg.ring(6)
+    rec = ReplayRecorder(changes_only=False)
+    World(g, [RobotSpec(5, 2, probe_factory(0))]).run(replay=rec)
+    assert {f.as_dict()[5] for f in rec} == {2}

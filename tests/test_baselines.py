@@ -1,0 +1,86 @@
+"""Tests for the baseline algorithms."""
+
+import pytest
+
+from repro.baselines import dessmark_program, random_walk_program, tz_rendezvous_program
+from repro.graphs import generators as gg
+from tests.conftest import run_world
+
+
+class TestTzRendezvous:
+    def test_gathers_without_detection(self):
+        g = gg.ring(8)
+        res = run_world(g, [0, 4], [3, 9], tz_rendezvous_program(), stop_on_gather=True)
+        assert res.metrics.first_gather_round is not None
+        assert not res.detected  # no detection claim
+
+    def test_full_run_also_ends(self):
+        g = gg.ring(6)
+        res = run_world(g, [0, 3], [3, 9], tz_rendezvous_program())
+        assert res.gathered
+
+    def test_multiple_robots(self):
+        g = gg.erdos_renyi(9, seed=2)
+        res = run_world(g, [0, 3, 6], [3, 9, 5], tz_rendezvous_program(),
+                        stop_on_gather=True)
+        assert res.metrics.first_gather_round is not None
+
+
+class TestDessmark:
+    def test_two_robots_meet(self):
+        g = gg.ring(10)
+        res = run_world(g, [0, 3], [5, 9], dessmark_program())
+        assert res.gathered
+        radius = next(iter(res.stats.values()))["met_at_radius"]
+        assert radius is not None
+
+    def test_radius_scales_with_distance(self):
+        g = gg.ring(12)
+        r_near = run_world(g, [0, 1], [5, 9], dessmark_program())
+        r_far = run_world(g, [0, 5], [5, 9], dessmark_program())
+        rad_near = next(iter(r_near.stats.values()))["met_at_radius"]
+        rad_far = next(iter(r_far.stats.values()))["met_at_radius"]
+        assert rad_near <= rad_far
+
+    def test_rounds_blow_up_with_distance(self):
+        """The O(Δ^D) wall: distance 1 vs distance 4 on a denser graph."""
+        g = gg.cycle_with_chords(12, chords=2)
+        near = run_world(g, [0, 1], [5, 9], dessmark_program())
+        from repro.analysis.placement import dispersed_with_pair_distance
+
+        starts = dispersed_with_pair_distance(g, 2, 4, seed=1)
+        far = run_world(g, starts, [5, 9], dessmark_program())
+        assert far.rounds > 5 * near.rounds
+
+    def test_delta_knowledge(self):
+        g = gg.ring(10)
+        res = run_world(g, [0, 2], [5, 9], dessmark_program(max_degree=2))
+        assert res.gathered
+
+    def test_radius_cap(self):
+        g = gg.path(8)
+        res = run_world(g, [0, 7], [5, 9], dessmark_program(max_radius=2))
+        assert not res.gathered
+        assert next(iter(res.stats.values()))["met_at_radius"] is None
+
+
+class TestRandomWalk:
+    def test_two_walkers_meet_eventually(self):
+        g = gg.ring(6)
+        res = run_world(
+            g, [0, 3], [3, 9], random_walk_program(seed=4),
+            stop_on_gather=True, max_rounds=500_000,
+        )
+        assert res.metrics.first_gather_round is not None
+
+    def test_seeded_reproducible(self):
+        g = gg.ring(6)
+        a = run_world(g, [0, 3], [3, 9], random_walk_program(seed=7),
+                      stop_on_gather=True, max_rounds=500_000)
+        b = run_world(g, [0, 3], [3, 9], random_walk_program(seed=7),
+                      stop_on_gather=True, max_rounds=500_000)
+        assert a.metrics.first_gather_round == b.metrics.first_gather_round
+
+    def test_laziness_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_program(laziness=1.0)

@@ -1,0 +1,105 @@
+"""Tests for the shared schedule arithmetic."""
+
+import pytest
+
+from repro.core import bounds
+
+
+class TestLabels:
+    def test_max_label(self):
+        assert bounds.max_label(10) == 100
+        assert bounds.max_label(10, exponent=1) == 10
+
+    def test_max_label_respects_cap(self):
+        with pytest.raises(ValueError, match="must be <"):
+            bounds.max_label(10, exponent=3)
+
+    def test_id_bits_lsb_first(self):
+        assert bounds.id_bits_lsb_first(1) == [1]
+        assert bounds.id_bits_lsb_first(6) == [0, 1, 1]
+        assert bounds.id_bits_lsb_first(8) == [0, 0, 0, 1]
+
+    def test_id_bits_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bounds.id_bits_lsb_first(0)
+
+    def test_schedule_bits_cover_all_admissible_labels(self):
+        for n in (2, 3, 5, 10, 33, 100):
+            budget = bounds.schedule_bits(n)
+            worst = bounds.max_label(n)  # n^2 < n^a budget
+            assert len(bounds.id_bits_lsb_first(worst)) <= budget
+
+    def test_schedule_bits_monotone(self):
+        vals = [bounds.schedule_bits(n) for n in range(2, 64)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+
+class TestHopCycles:
+    def test_cycle_length_formula(self):
+        # T(i) = sum 2(n-1)^j
+        assert bounds.hop_cycle_length(1, 5) == 2 * 4
+        assert bounds.hop_cycle_length(2, 5) == 2 * 4 + 2 * 16
+        assert bounds.hop_cycle_length(3, 3) == 2 * 2 + 2 * 4 + 2 * 8
+
+    def test_cycle_length_with_known_degree(self):
+        # Remark 14: degree-aware cycles
+        assert bounds.hop_cycle_length(2, 100, max_degree=2) == 2 * 2 + 2 * 4
+
+    def test_cycle_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            bounds.hop_cycle_length(0, 5)
+
+    def test_meeting_rounds_scale(self):
+        assert bounds.hop_meeting_rounds(1, 8) == bounds.hop_cycle_length(
+            1, 8
+        ) * bounds.schedule_bits(8)
+
+    def test_phase_length_has_publish_round(self):
+        assert bounds.hop_meeting_phase_length(1, 8) == 1 + bounds.hop_meeting_rounds(1, 8)
+
+
+class TestPhaseBudgets:
+    def test_phase1_cubic_shape(self):
+        # dominated by the n^3 term
+        assert bounds.phase1_rounds(100) < 7 * 100**3
+        assert bounds.phase1_rounds(100) > 6 * 100**3
+
+    def test_undispersed_layout(self):
+        n = 9
+        assert bounds.undispersed_rounds(n) == 1 + bounds.phase1_rounds(n) + 2 * n
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            bounds.phase1_rounds(0)
+        with pytest.raises(ValueError):
+            bounds.schedule_bits(0)
+
+
+class TestBoundaries:
+    def test_six_boundaries_increasing(self):
+        b = bounds.faster_gathering_boundaries(10)
+        assert len(b) == 6
+        assert all(x < y for x, y in zip(b, b[1:]))
+
+    def test_first_boundary_is_undispersed(self):
+        assert bounds.faster_gathering_boundaries(10)[0] == bounds.undispersed_rounds(10)
+
+    def test_boundary_structure(self):
+        n = 8
+        b = bounds.faster_gathering_boundaries(n)
+        r = bounds.undispersed_rounds(n)
+        for step in range(2, 7):
+            expected = b[step - 2] + bounds.hop_meeting_phase_length(step - 1, n) + r
+            assert b[step - 1] == expected
+
+    def test_known_degree_shrinks_boundaries(self):
+        slow = bounds.faster_gathering_boundaries(12)
+        fast = bounds.faster_gathering_boundaries(12, max_degree=2)
+        assert fast[-1] < slow[-1]
+
+    def test_growth_dominated_by_last_hop(self):
+        # E6 boundary grows like n^5 (the 5-hop cycle term)
+        b16 = bounds.faster_gathering_boundaries(16)[-1]
+        b32 = bounds.faster_gathering_boundaries(32)[-1]
+        ratio = b32 / b16
+        assert 2**4.5 < ratio < 2**5.5

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInformational:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "ring" in out and "lollipop" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "R1(n)" in out and "Faster-Gathering E6" in out
+
+    def test_bounds_with_delta(self, capsys):
+        assert main(["bounds", "--n", "10", "--max-degree", "3"]) == 0
+        assert "Δ=3" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "length T" in out and "certified" in out
+
+
+class TestRun:
+    def test_run_faster_default(self, capsys):
+        rc = main(["run", "--family", "ring", "--n", "10", "--k", "6",
+                   "--placement", "scatter"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gathered" in out and "regime" in out
+
+    def test_run_undispersed(self, capsys):
+        rc = main(["run", "--family", "erdos_renyi", "--n", "9", "--k", "3",
+                   "--algorithm", "undispersed", "--placement", "undispersed"])
+        assert rc == 0
+
+    def test_run_tz_reports_first_gather(self, capsys):
+        rc = main(["run", "--family", "ring", "--n", "8", "--k", "2",
+                   "--algorithm", "tz"])
+        assert rc == 0
+        assert "no detection" in capsys.readouterr().out
+
+    def test_run_with_knowledge(self, capsys):
+        rc = main(["run", "--family", "ring", "--n", "10", "--k", "2",
+                   "--placement", "pair-distance", "--pair-distance", "2",
+                   "--max-degree", "2", "--hop-distance", "2"])
+        assert rc == 0
+
+    def test_pair_distance_requires_value(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--placement", "pair-distance"])
+
+
+class TestSweep:
+    def test_sweep_prints_slope(self, capsys):
+        rc = main(["sweep", "--family", "ring", "--algorithm", "undispersed",
+                   "--placement", "undispersed", "--k", "3",
+                   "--ns", "8", "12"])
+        assert rc == 0
+        assert "log-log slope" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "bogus"])

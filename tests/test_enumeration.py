@@ -1,0 +1,70 @@
+"""Tests for exhaustive small-graph enumeration."""
+
+import pytest
+
+from repro.graphs.enumeration import (
+    all_port_graphs,
+    connected_edge_sets,
+    count_port_graphs,
+    port_numberings,
+)
+
+
+class TestEdgeSets:
+    def test_n1(self):
+        assert list(connected_edge_sets(1)) == [()]
+
+    def test_n2(self):
+        assert list(connected_edge_sets(2)) == [((0, 1),)]
+
+    def test_n3_count(self):
+        # connected graphs on 3 labeled nodes: 3 paths + 1 triangle
+        assert len(list(connected_edge_sets(3))) == 4
+
+    def test_n4_count(self):
+        # connected labeled graphs on 4 nodes: 38 (classic OEIS A001187 term)
+        assert len(list(connected_edge_sets(4))) == 38
+
+    def test_all_connected(self):
+        for pairs in connected_edge_sets(4):
+            # spot check: spanning edge count
+            assert len(pairs) >= 3
+
+
+class TestPortNumberings:
+    def test_path_numberings(self):
+        # path 0-1-2: middle node has 2 orderings, ends 1 each -> 2 graphs
+        graphs = list(port_numberings(3, ((0, 1), (1, 2))))
+        assert len(graphs) == 2
+        assert len(set(graphs)) == 2
+
+    def test_triangle_numberings(self):
+        graphs = list(port_numberings(3, ((0, 1), (0, 2), (1, 2))))
+        assert len(graphs) == 8  # 2^3 orderings
+
+    def test_all_valid(self):
+        for g in port_numberings(3, ((0, 1), (0, 2), (1, 2))):
+            for v in g.nodes():
+                for p in g.ports(v):
+                    u, q = g.traverse(v, p)
+                    assert g.traverse(u, q) == (v, p)
+
+
+class TestAllPortGraphs:
+    def test_count_n2(self):
+        assert count_port_graphs(2) == 1
+
+    def test_count_n3(self):
+        # 3 paths x 2 numberings + 1 triangle x 8 numberings = 14
+        assert count_port_graphs(3) == 14
+
+    def test_guard(self):
+        with pytest.raises(ValueError, match="explosive"):
+            list(all_port_graphs(5))
+
+    def test_n4_all_connected_and_valid(self):
+        count = 0
+        for g in all_port_graphs(4):
+            count += 1
+            assert g.is_connected()
+        assert count > 1000  # tens of thousands of port graphs exist

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are documentation; a broken example is a broken deliverable.
+Each `main()` is imported and executed (stdout captured by pytest).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)  # type: ignore[union-attr]
+    return mod
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(path, capsys):
+    mod = load_module(path)
+    assert hasattr(mod, "main"), f"{path.name} must expose main()"
+    mod.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "warehouse_recall", "maze_rendezvous", "detection_matters"} <= names

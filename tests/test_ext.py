@@ -1,0 +1,155 @@
+"""Tests for the extensions: startup delays and crash faults.
+
+These pin down *both* directions: the wrappers compose mechanically
+(identity at delay 0, crash-after-gathering harmless) *and* the paper's
+assumptions are genuinely load-bearing (asymmetric delays / early crashes
+break detection in observable, flagged ways — never silently).
+"""
+
+import pytest
+
+from repro.core import bounds
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.ext import crash_at, delayed_start
+from repro.graphs import generators as gg
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+
+def run(graph, specs, **kw):
+    return World(graph, specs, strict=True).run(**kw)
+
+
+class TestDelayedStart:
+    def test_zero_delay_is_identity(self):
+        g = gg.ring(8)
+        base = [
+            RobotSpec(3, 0, undispersed_gathering_program()),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+        ]
+        wrapped = [
+            RobotSpec(3, 0, delayed_start(undispersed_gathering_program(), 0)),
+            RobotSpec(9, 0, delayed_start(undispersed_gathering_program(), 0)),
+        ]
+        a = run(g, base)
+        b = run(g, wrapped)
+        assert a.rounds == b.rounds
+        assert a.positions == b.positions
+
+    def test_uniform_delay_shifts_schedule(self):
+        """Everyone delayed by the same amount: still correct, just later."""
+        g = gg.ring(8)
+        delay = 37
+        specs = [
+            RobotSpec(3, 0, delayed_start(undispersed_gathering_program(), delay)),
+            RobotSpec(9, 0, delayed_start(undispersed_gathering_program(), delay)),
+            RobotSpec(12, 4, delayed_start(undispersed_gathering_program(), delay)),
+        ]
+        res = run(g, specs)
+        assert res.gathered and res.detected
+        assert res.rounds == bounds.undispersed_rounds(8) + delay + 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            delayed_start(undispersed_gathering_program(), -1)
+
+    def test_asymmetric_delay_breaks_oblivious_schedule(self):
+        """The paper's simultaneous-start assumption is load-bearing: with
+        one robot delayed, the undispersed schedule desynchronizes and the
+        run either mis-gathers or mis-detects — and the harness flags it."""
+        g = gg.ring(8)
+        # reference: where would the pair gather without the third robot?
+        ref = run(g, [
+            RobotSpec(3, 0, undispersed_gathering_program()),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+        ])
+        # a true bystander spot: neither the pair's node nor the gather node
+        elsewhere = next(v for v in range(2, 8) if v not in (0, ref.final_node))
+        specs = [
+            RobotSpec(3, 0, undispersed_gathering_program()),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+            # this waiter wakes after everyone else terminated
+            RobotSpec(
+                12, elsewhere,
+                delayed_start(
+                    undispersed_gathering_program(),
+                    bounds.undispersed_rounds(8) + 5,
+                ),
+            ),
+        ]
+        res = run(g, specs)
+        assert not res.gathered
+        assert not res.detected  # broken, and *visibly* so
+
+    def test_delay_composes_with_uxs(self):
+        """A robot delayed by less than one exploration half is still found
+        by a working explorer — UXS machinery is the delay-friendlier one
+        (the paper's cited prior work tolerates delays for plain gathering)."""
+        g = gg.ring(6)
+        specs = [
+            RobotSpec(3, 0, delayed_start(uxs_gathering_program(), 10)),
+            RobotSpec(9, 3, uxs_gathering_program()),
+        ]
+        res = run(g, specs)
+        # gathering itself must still happen (they meet during exploration)
+        assert res.gathered
+
+
+class TestCrashFaults:
+    def test_crash_after_gathering_is_harmless(self):
+        g = gg.ring(8)
+        late = 10**9  # never reached: run ends first
+        specs = [
+            RobotSpec(3, 0, crash_at(undispersed_gathering_program(), late)),
+            RobotSpec(9, 0, crash_at(undispersed_gathering_program(), late)),
+        ]
+        res = run(g, specs)
+        assert res.gathered and res.detected
+
+    def test_crashed_waiter_poisons_detection(self):
+        """A waiter that dies is never collected; survivors terminate on
+        schedule believing gathering completed — the run is flagged."""
+        g = gg.ring(8)
+        ref = run(g, [
+            RobotSpec(3, 0, undispersed_gathering_program()),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+        ])
+        # a genuine waiter spot: neither the pair's node nor the gather node
+        elsewhere = next(v for v in range(2, 8) if v not in (0, ref.final_node))
+        specs = [
+            RobotSpec(3, 0, undispersed_gathering_program()),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+            RobotSpec(12, elsewhere, crash_at(undispersed_gathering_program(), 1)),
+        ]
+        res = run(g, specs)
+        assert not res.gathered
+        assert not res.detected
+        assert res.stats[12].get("crashed_at") is not None
+
+    def test_crashed_finder_strands_schedule(self):
+        """The finder dies mid-map-construction: its helper is left parked.
+        The run must end (everyone eventually terminates or the harness
+        reports the breakage) without false detection."""
+        g = gg.ring(6)
+        specs = [
+            # label 3 is the minimum of the co-located pair -> finder
+            RobotSpec(3, 0, crash_at(undispersed_gathering_program(), 20)),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+            RobotSpec(12, 3, undispersed_gathering_program()),
+        ]
+        res = run(g, specs)
+        assert not res.detected
+
+    def test_crash_round_validation(self):
+        with pytest.raises(ValueError):
+            crash_at(undispersed_gathering_program(), -3)
+
+    def test_crash_at_zero_dies_immediately(self):
+        g = gg.ring(6)
+        specs = [
+            RobotSpec(3, 0, crash_at(undispersed_gathering_program(), 0)),
+            RobotSpec(9, 1, undispersed_gathering_program()),
+        ]
+        res = run(g, specs)
+        assert res.metrics.moves_by_robot[3] == 0

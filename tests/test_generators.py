@@ -1,0 +1,135 @@
+"""Tests for the graph family generators."""
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.traversal import diameter
+
+
+ALL_FAMILIES = [
+    ("ring", dict(n=8)),
+    ("path", dict(n=8)),
+    ("grid", dict(rows=3, cols=4)),
+    ("torus", dict(rows=3, cols=4)),
+    ("complete", dict(n=6)),
+    ("star", dict(n=8)),
+    ("binary_tree", dict(n=9)),
+    ("caterpillar", dict(n=9)),
+    ("random_tree", dict(n=9, seed=1)),
+    ("erdos_renyi", dict(n=10, seed=2)),
+    ("random_regular", dict(n=10, d=3, seed=3)),
+    ("lollipop", dict(n=9)),
+    ("barbell", dict(n=9)),
+    ("hypercube", dict(dim=3)),
+    ("cycle_with_chords", dict(n=10)),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", ALL_FAMILIES)
+def test_family_is_connected_and_valid(name, kwargs):
+    g = gg.by_name(name, **kwargs)
+    assert g.is_connected()
+    # port involution sanity on every family
+    for v in g.nodes():
+        for p in g.ports(v):
+            u, q = g.traverse(v, p)
+            assert g.traverse(u, q) == (v, p)
+
+
+@pytest.mark.parametrize("name,kwargs", ALL_FAMILIES)
+def test_family_deterministic(name, kwargs):
+    assert gg.by_name(name, **kwargs) == gg.by_name(name, **kwargs)
+
+
+class TestShapes:
+    def test_ring_is_2_regular(self):
+        g = gg.ring(9)
+        assert all(g.degree(v) == 2 for v in g.nodes())
+        assert g.m == 9
+
+    def test_path_endpoints(self):
+        g = gg.path(6)
+        degs = sorted(g.degree(v) for v in g.nodes())
+        assert degs == [1, 1, 2, 2, 2, 2]
+
+    def test_grid_dimensions(self):
+        g = gg.grid(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_torus_regular(self):
+        g = gg.torus(3, 4)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_complete_degrees(self):
+        g = gg.complete(7)
+        assert all(g.degree(v) == 6 for v in g.nodes())
+        assert g.m == 21
+
+    def test_star_shape(self):
+        g = gg.star(8)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+    def test_binary_tree_is_tree(self):
+        g = gg.binary_tree(10)
+        assert g.m == 9
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = gg.random_tree(12, seed=seed)
+            assert g.m == 11
+            assert g.is_connected()
+
+    def test_random_regular_degree(self):
+        g = gg.random_regular(12, 3, seed=7)
+        assert all(g.degree(v) == 3 for v in g.nodes())
+
+    def test_hypercube(self):
+        g = gg.hypercube(4)
+        assert g.n == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert diameter(g) == 4
+
+    def test_lollipop_has_high_and_low_degree(self):
+        g = gg.lollipop(10)
+        assert g.max_degree >= 4
+        assert g.min_degree == 1
+
+    def test_barbell_two_cliques(self):
+        g = gg.barbell(12)
+        assert g.is_connected()
+        high = [v for v in g.nodes() if g.degree(v) >= 3]
+        assert len(high) >= 6
+
+    def test_cycle_with_chords_has_extra_edges(self):
+        g = gg.cycle_with_chords(12, chords=2)
+        assert g.m == 14
+
+    def test_caterpillar_is_tree(self):
+        g = gg.caterpillar(11)
+        assert g.m == 10
+
+
+class TestValidation:
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            gg.ring(2)
+
+    def test_path_too_small(self):
+        with pytest.raises(ValueError):
+            gg.path(1)
+
+    def test_random_regular_odd_product(self):
+        with pytest.raises(ValueError):
+            gg.random_regular(7, 3)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            gg.by_name("nonsense", n=5)
+
+    def test_erdos_renyi_connect_patchup(self):
+        # p=0 forces the union-find patch-up to connect everything
+        g = gg.erdos_renyi(10, p=0.0, seed=1)
+        assert g.is_connected()
+        assert g.m == 9

@@ -1,0 +1,104 @@
+"""Tests for ``i-Hop-Meeting`` (Lemmas 9-10, Remark 14)."""
+
+import pytest
+
+from repro.core import bounds
+from repro.core.hop_meeting import hop_meeting_program
+from repro.graphs import generators as gg
+from repro.analysis.placement import dispersed_with_pair_distance, min_pairwise_distance
+from tests.conftest import run_world
+
+
+def ends_undispersed(result) -> bool:
+    nodes = list(result.positions.values())
+    return len(set(nodes)) < len(nodes)
+
+
+class TestOneHop:
+    @pytest.mark.parametrize("labels", [(1, 2), (2, 1), (5, 6), (37, 54)])
+    def test_adjacent_robots_assemble(self, labels):
+        g = gg.ring(8)
+        res = run_world(g, [0, 1], labels, hop_meeting_program(1))
+        assert ends_undispersed(res)
+
+    def test_same_length_ids_with_differing_bit(self):
+        g = gg.path(6)
+        # 5=101, 6=110 differ at bit 0: 5 explores, 6 waits
+        res = run_world(g, [2, 3], [5, 6], hop_meeting_program(1))
+        assert ends_undispersed(res)
+
+    def test_schedule_length_matches_bounds(self):
+        g = gg.ring(8)
+        res = run_world(g, [0, 1], [3, 9], hop_meeting_program(1))
+        expected_end = bounds.hop_meeting_phase_length(1, 8)
+        assert res.rounds == expected_end + 1  # terminate at phase end
+
+    def test_non_adjacent_pair_no_guarantee_but_home(self):
+        """Distance-3 robots running 1-hop-meeting: no meeting is required;
+        robots must end back at their start nodes (cycles return home)."""
+        g = gg.ring(10)
+        res = run_world(g, [0, 5], [3, 9], hop_meeting_program(1))
+        # distance 5 on a 10-ring: the radius-1 balls are disjoint
+        assert res.positions[3] == 0
+        assert res.positions[9] == 5
+
+
+class TestIHop:
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_pair_at_distance_i_assembles(self, i):
+        g = gg.ring(12)
+        starts = [0, i]
+        res = run_world(g, starts, [6, 9], hop_meeting_program(i))
+        assert ends_undispersed(res), f"no assembly for i={i}"
+
+    @pytest.mark.parametrize("i", [2, 3])
+    def test_works_on_trees(self, i):
+        g = gg.binary_tree(9)
+        starts = dispersed_with_pair_distance(g, 2, i, seed=1)
+        res = run_world(g, starts, [5, 10], hop_meeting_program(i))
+        assert ends_undispersed(res)
+
+    def test_many_robots_at_least_one_pair(self):
+        g = gg.ring(12)
+        starts = [0, 2, 4, 6, 8, 10]
+        labels = [3, 5, 8, 12, 20, 33]
+        res = run_world(g, starts, labels, hop_meeting_program(2))
+        assert ends_undispersed(res)
+
+    def test_all_robots_on_one_node_merge_immediately(self):
+        g = gg.ring(6)
+        res = run_world(g, [2, 2, 2], [3, 5, 9], hop_meeting_program(1))
+        assert len(set(res.positions.values())) == 1
+
+
+class TestKnownDegreeAblation:
+    def test_delta_aware_schedule_is_shorter(self):
+        g = gg.ring(10)  # max degree 2
+        res_plain = run_world(g, [0, 2], [5, 9], hop_meeting_program(2))
+        res_delta = run_world(
+            g, [0, 2], [5, 9], hop_meeting_program(2, max_degree=2)
+        )
+        assert ends_undispersed(res_plain) and ends_undispersed(res_delta)
+        assert res_delta.rounds < res_plain.rounds
+
+    def test_delta_budget_respected(self):
+        # DFS on a degree-Δ graph must fit in the Δ-aware cycle
+        g = gg.random_regular(10, 3, seed=4)
+        res = run_world(g, [0, 1], [5, 9], hop_meeting_program(2, max_degree=3))
+        assert ends_undispersed(res)
+
+
+class TestMoveBudget:
+    @pytest.mark.parametrize("i", [1, 2])
+    def test_dfs_moves_within_cycle_budget(self, i):
+        """The radius-i DFS never exceeds the padded cycle length."""
+        g = gg.complete(6)  # worst case: degree n-1 everywhere
+        res = run_world(g, [0, 1], [2, 3], hop_meeting_program(i))
+        cycle = bounds.hop_cycle_length(i, 6)
+        cycles = bounds.schedule_bits(6)
+        assert res.metrics.max_moves <= cycle * cycles
+
+    def test_single_robot_runs_and_terminates(self):
+        g = gg.ring(6)
+        res = run_world(g, [0], [5], hop_meeting_program(2))
+        assert res.positions[5] == 0  # returned home

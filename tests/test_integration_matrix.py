@@ -1,0 +1,92 @@
+"""Cross-family × algorithm integration matrix.
+
+The broadest correctness sweep in the suite: every algorithm on every graph
+family shape it can afford, with seeded-random port numbering (the
+anonymity stress) and mixed placements.  Every cell must gather; every
+detecting algorithm must detect.
+"""
+
+import pytest
+
+from repro.analysis.placement import (
+    assign_labels,
+    dispersed_random,
+    undispersed_placement,
+)
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+from tests.conftest import run_world
+
+
+FAMILY_INSTANCES = [
+    ("ring", gg.ring(9, numbering="random", seed=1)),
+    ("path", gg.path(8, numbering="random", seed=2)),
+    ("grid", gg.grid(3, 3, numbering="random", seed=3)),
+    ("star", gg.star(8, numbering="random", seed=4)),
+    ("complete", gg.complete(7, numbering="random", seed=5)),
+    ("binary_tree", gg.binary_tree(8, numbering="random", seed=6)),
+    ("caterpillar", gg.caterpillar(9, numbering="random", seed=7)),
+    ("lollipop", gg.lollipop(8, numbering="random", seed=8)),
+    ("barbell", gg.barbell(9, numbering="random", seed=9)),
+    ("wheel", gg.wheel(8, numbering="random", seed=10)),
+    ("complete_bipartite", gg.complete_bipartite(3, 5, numbering="random", seed=11)),
+    ("broom", gg.broom(9, numbering="random", seed=12)),
+    ("hypercube", gg.hypercube(3, numbering="random", seed=13)),
+    ("erdos_renyi", gg.erdos_renyi(9, seed=14, numbering="random")),
+    ("torus", gg.torus(3, 3, numbering="random", seed=15)),
+    ("cycle_with_chords", gg.cycle_with_chords(9, numbering="random", seed=16)),
+]
+
+IDS = [name for name, _ in FAMILY_INSTANCES]
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_undispersed_gathering_matrix(name, graph):
+    starts = undispersed_placement(graph, 4, seed=42)
+    labels = assign_labels(4, graph.n, seed=42)
+    res = run_world(graph, starts, labels, undispersed_gathering_program())
+    assert res.gathered, name
+    assert res.detected, name
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_uxs_gathering_matrix(name, graph):
+    starts = dispersed_random(graph, 3, seed=43)
+    labels = assign_labels(3, graph.n, seed=43)
+    res = run_world(graph, starts, labels, uxs_gathering_program())
+    assert res.gathered, name
+    assert res.detected, name
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_faster_gathering_matrix(name, graph):
+    # many robots: the n^3 regime everywhere
+    k = graph.n // 2 + 1
+    starts = dispersed_random(graph, k, seed=44)
+    labels = assign_labels(k, graph.n, seed=44)
+    res = run_world(graph, starts, labels, faster_gathering_program())
+    assert res.gathered, name
+    assert res.detected, name
+
+
+@pytest.mark.parametrize("scheme", ["compact", "random", "adversarial_long"])
+@pytest.mark.parametrize("algo_name,factory_fn", [
+    ("undispersed", undispersed_gathering_program),
+    ("uxs", uxs_gathering_program),
+    ("faster", faster_gathering_program),
+])
+def test_label_scheme_matrix(scheme, algo_name, factory_fn):
+    """Every algorithm under every label scheme, incl. the worst case of
+    maximal equal-length IDs."""
+    g = gg.erdos_renyi(9, seed=21)
+    k = 4
+    if algo_name == "undispersed":
+        starts = undispersed_placement(g, k, seed=5)
+    else:
+        starts = dispersed_random(g, k, seed=5)
+    labels = assign_labels(k, g.n, scheme=scheme, seed=5)
+    res = run_world(g, starts, labels, factory_fn())
+    assert res.gathered, (algo_name, scheme)
+    assert res.detected, (algo_name, scheme)

@@ -1,0 +1,63 @@
+"""Tests for graph JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.io import dumps, load, loads, save
+from repro.graphs.port_graph import PortGraphError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "graph",
+        [gg.ring(7), gg.star(6), gg.grid(3, 3), gg.erdos_renyi(10, seed=4),
+         gg.ring(7, numbering="random", seed=9)],
+        ids=["ring", "star", "grid", "er", "ring-rand"],
+    )
+    def test_string_roundtrip(self, graph):
+        assert loads(dumps(graph)) == graph
+
+    def test_file_roundtrip(self, tmp_path):
+        g = gg.lollipop(8)
+        path = tmp_path / "g.json"
+        save(g, path)
+        assert load(path) == g
+
+    def test_ports_preserved_exactly(self):
+        g = gg.erdos_renyi(9, seed=2, numbering="random")
+        g2 = loads(dumps(g))
+        for v in g.nodes():
+            for p in g.ports(v):
+                assert g2.traverse(v, p) == g.traverse(v, p)
+
+    def test_indent_option(self):
+        text = dumps(gg.ring(5), indent=2)
+        assert "\n" in text
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-port-graph"):
+            loads(json.dumps({"format": "something-else", "version": 1}))
+
+    def test_wrong_version_rejected(self):
+        doc = json.loads(dumps(gg.ring(5)))
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="unsupported version"):
+            loads(json.dumps(doc))
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            loads(json.dumps({"format": "repro-port-graph", "version": 1}))
+
+    def test_invalid_graph_rejected(self):
+        doc = {
+            "format": "repro-port-graph",
+            "version": 1,
+            "n": 2,
+            "edges": [[0, 0, 0, 1]],  # self loop
+        }
+        with pytest.raises(PortGraphError):
+            loads(json.dumps(doc))

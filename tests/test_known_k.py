@@ -1,0 +1,79 @@
+"""Tests for the known-k detection ablation."""
+
+import pytest
+
+from repro.core.known_k import known_k_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+from repro.analysis.placement import assign_labels, dispersed_random
+from tests.conftest import run_world
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_gathers_and_detects(self, k):
+        g = gg.ring(9)
+        starts = dispersed_random(g, k, seed=k)
+        labels = assign_labels(k, 9, seed=k)
+        res = run_world(g, starts, labels, known_k_gathering_program(k))
+        assert res.gathered and res.detected
+
+    @pytest.mark.parametrize(
+        "graph", [gg.path(8), gg.star(8), gg.erdos_renyi(10, seed=3),
+                  gg.grid(3, 3, numbering="random", seed=4)],
+        ids=["path", "star", "er", "grid-rand"],
+    )
+    def test_across_families(self, graph):
+        starts = dispersed_random(graph, 3, seed=9)
+        labels = assign_labels(3, graph.n, seed=9)
+        res = run_world(graph, starts, labels, known_k_gathering_program(3))
+        assert res.gathered and res.detected
+
+    def test_k1_trivial(self):
+        g = gg.ring(6)
+        res = run_world(g, [2], [5], known_k_gathering_program(1))
+        assert res.gathered and res.detected
+        assert res.rounds <= 1
+
+    def test_colocated_start(self):
+        g = gg.ring(6)
+        res = run_world(g, [0, 0, 3], [3, 9, 5], known_k_gathering_program(3))
+        assert res.gathered and res.detected
+
+    def test_simultaneous_termination(self):
+        g = gg.ring(8)
+        starts = dispersed_random(g, 3, seed=2)
+        labels = assign_labels(3, 8, seed=2)
+        res = run_world(g, starts, labels, known_k_gathering_program(3))
+        terms = {res.metrics.last_termination_round}
+        assert res.detected and None not in terms
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            known_k_gathering_program(0)
+
+
+class TestWhatKnowingKBuys:
+    def test_detection_tail_shrinks(self):
+        """Known k: terminate ~1 round after physically gathered.  Unknown k
+        (the paper's setting): pay the silent-wait machinery."""
+        g = gg.ring(9)
+        starts = dispersed_random(g, 3, seed=7)
+        labels = assign_labels(3, 9, seed=7)
+
+        with_k = run_world(g, starts, labels, known_k_gathering_program(3))
+        without = run_world(g, starts, labels, uxs_gathering_program())
+        assert with_k.detected and without.detected
+
+        tail_with = with_k.rounds - with_k.metrics.first_gather_round
+        tail_without = without.rounds - without.metrics.first_gather_round
+        assert tail_with <= 2
+        assert tail_without > 50 * max(tail_with, 1)
+
+    def test_total_rounds_much_smaller(self):
+        g = gg.erdos_renyi(10, seed=5)
+        starts = dispersed_random(g, 4, seed=6)
+        labels = assign_labels(4, 10, seed=6)
+        with_k = run_world(g, starts, labels, known_k_gathering_program(4))
+        without = run_world(g, starts, labels, uxs_gathering_program())
+        assert with_k.rounds < without.rounds

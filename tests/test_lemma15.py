@@ -1,0 +1,80 @@
+"""Lemma 15: ``⌊n/c⌋ + 1`` robots ⇒ some pair within ``2c - 2`` hops.
+
+This is the structural lemma powering Theorem 16; we attack it with the
+adversarial scatterer (greedy farthest-point over several seeds — the
+strongest placement we can construct) on every graph family and check the
+bound is never violated.
+"""
+
+import pytest
+
+from repro.analysis.placement import adversarial_scatter, min_pairwise_distance
+from repro.graphs import generators as gg
+
+
+FAMILIES = [
+    gg.ring(12),
+    gg.ring(21),
+    gg.path(16),
+    gg.grid(4, 5),
+    gg.complete(9),
+    gg.star(13),
+    gg.binary_tree(15),
+    gg.lollipop(14),
+    gg.barbell(15),
+    gg.erdos_renyi(18, seed=3),
+    gg.random_regular(16, 3, seed=2),
+    gg.random_tree(17, seed=5),
+    gg.hypercube(4),
+]
+
+
+@pytest.mark.parametrize("c", [2, 3, 4])
+@pytest.mark.parametrize("graph", FAMILIES, ids=lambda g: f"n{g.n}m{g.m}")
+def test_lemma15_bound_never_violated(graph, c):
+    n = graph.n
+    k = n // c + 1
+    if k < 2 or k > n:
+        pytest.skip("degenerate k")
+    bound = 2 * c - 2
+    for seed in range(5):
+        starts = adversarial_scatter(graph, k, seed=seed)
+        d = min_pairwise_distance(graph, starts)
+        assert d <= bound, (
+            f"Lemma 15 violated: c={c}, k={k}, n={n}: min distance {d} > {bound}"
+        )
+
+
+def test_lemma15_tightness_on_ring():
+    """The adversary can genuinely spread robots out: the *optimal* even
+    spacing of k = n/c + 1 robots on a ring leaves min distance
+    floor(n/k) >= 1, and an explicit even placement witnesses it (greedy
+    farthest-point is a 2-approximation and may do worse, so we construct
+    the even placement directly)."""
+    g = gg.ring(24)
+    c = 3
+    k = 24 // c + 1  # 9 robots on 24 nodes
+    even = [round(i * 24 / k) % 24 for i in range(k)]
+    d_even = min_pairwise_distance(g, even)
+    assert d_even == 2  # floor(24/9) = 2, still <= 2c-2 = 4 (Lemma 15 holds)
+    greedy_best = max(
+        min_pairwise_distance(g, adversarial_scatter(g, k, seed=seed))
+        for seed in range(8)
+    )
+    assert greedy_best >= 1  # 2-approximation of the even spacing
+
+
+def test_random_placements_even_closer():
+    """Random placements should (weakly) never beat the adversary."""
+    from repro.analysis.placement import dispersed_random
+
+    g = gg.grid(5, 5)
+    c = 2
+    k = 25 // 2 + 1
+    adv = max(
+        min_pairwise_distance(g, adversarial_scatter(g, k, seed=s)) for s in range(5)
+    )
+    rnd = max(
+        min_pairwise_distance(g, dispersed_random(g, k, seed=s)) for s in range(5)
+    )
+    assert rnd <= adv + 1  # random can tie by luck, never dominate clearly

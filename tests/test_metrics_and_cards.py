@@ -1,0 +1,52 @@
+"""Tests for card-size accounting and miscellaneous metric plumbing."""
+
+from repro.core.undispersed import undispersed_gathering_program
+from repro.graphs import generators as gg
+from repro.sim.actions import Action
+from repro.sim.metrics import card_bits
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+
+class TestCardBits:
+    def test_empty_card(self):
+        assert card_bits({}) == 0
+
+    def test_monotone_in_content(self):
+        small = card_bits({"id": 3})
+        bigger = card_bits({"id": 3, "state": "finder"})
+        assert bigger > small
+
+    def test_value_width_counts(self):
+        assert card_bits({"id": 1000}) > card_bits({"id": 1})
+
+
+class TestMaxCardBitsMetric:
+    def test_recorded_on_publish(self):
+        def prog(ctx):
+            obs = yield
+            obs = yield Action.stay(card={"state": "finder", "groupid": 42})
+            yield Action.terminate()
+
+        res = World(gg.ring(5), [RobotSpec(1, 0, prog)]).run()
+        expected = card_bits({"state": "finder", "groupid": 42, "id": 1})
+        assert res.metrics.max_card_bits == expected
+
+    def test_zero_when_never_published(self):
+        def prog(ctx):
+            obs = yield
+            yield Action.terminate()
+
+        res = World(gg.ring(5), [RobotSpec(1, 0, prog)]).run()
+        assert res.metrics.max_card_bits == 0
+
+    def test_algorithms_stay_logarithmic(self):
+        g = gg.ring(8)
+        specs = [
+            RobotSpec(3, 0, undispersed_gathering_program()),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+            RobotSpec(12, 4, undispersed_gathering_program()),
+        ]
+        res = World(g, specs).run()
+        assert res.gathered
+        assert 0 < res.metrics.max_card_bits < 1024

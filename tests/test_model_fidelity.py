@@ -1,0 +1,145 @@
+"""Model-fidelity tests: the simulator grants exactly the paper's powers.
+
+Section 1.1 of the paper defines what a robot may know and observe.  These
+tests assert the robot-facing API leaks nothing more:
+
+* observations expose only round, degree, entry port, and co-located cards;
+* node identities never appear anywhere robot-visible;
+* robots know ``n`` and their label, nothing else, unless knowledge is
+  granted explicitly;
+* local computation is bounded per round (programs are resumed once per
+  round — no hidden global loops).
+"""
+
+from repro.core.faster_gathering import faster_gathering_program
+from repro.graphs import generators as gg
+from repro.sim.actions import Action, Observation
+from repro.sim.robot import RobotContext, RobotSpec
+from repro.sim.world import World
+
+
+class TestObservationSurface:
+    def test_observation_slots(self):
+        """Observation carries exactly the model-sanctioned fields."""
+        assert set(Observation.__slots__) == {"round", "degree", "entry_port", "cards"}
+
+    def test_context_surface(self):
+        ctx = RobotContext(label=3, n=7)
+        assert ctx.label == 3
+        assert ctx.n == 7
+        assert ctx.knowledge == {}
+
+    def test_no_node_identity_in_observation(self):
+        """A probing program records everything it can see; node numbers of
+        the underlying graph must not be recoverable from any field."""
+        seen = []
+
+        def probe(ctx):
+            obs = yield
+            for _ in range(4):
+                seen.append((obs.round, obs.degree, obs.entry_port,
+                             tuple(sorted(tuple(sorted(c.items())) for c in obs.cards))))
+                obs = yield Action.move(0)
+            yield Action.terminate()
+
+        g = gg.ring(6)
+        World(g, [RobotSpec(3, 2, probe)], strict=True).run()
+        for (_r, degree, entry, cards) in seen:
+            assert degree == 2
+            assert entry in (None, 0, 1)
+            for card in cards:
+                keys = {k for k, _v in card}
+                assert "node" not in keys and "position" not in keys
+
+    def test_entry_port_is_local_to_destination(self):
+        """The entry port is the *destination's* port number for the edge —
+        the only edge information the model grants after a move."""
+        recorded = {}
+
+        def probe(ctx):
+            obs = yield
+            obs = yield Action.move(0)
+            recorded["entry"] = obs.entry_port
+            yield Action.terminate()
+
+        # path: node 0 -(port0|port0)- node 1; canonical numbering
+        g = gg.path(3)
+        World(g, [RobotSpec(3, 0, probe)], strict=True).run()
+        assert recorded["entry"] == g.traverse(0, 0)[1]
+
+
+class TestKnowledgeGrants:
+    def test_default_no_extra_knowledge(self):
+        captured = {}
+
+        def probe(ctx):
+            captured["knowledge"] = dict(ctx.knowledge)
+            obs = yield
+            yield Action.terminate()
+
+        World(gg.ring(5), [RobotSpec(3, 0, probe)]).run()
+        assert captured["knowledge"] == {}
+
+    def test_granted_knowledge_visible(self):
+        captured = {}
+
+        def probe(ctx):
+            captured["knowledge"] = dict(ctx.knowledge)
+            obs = yield
+            yield Action.terminate()
+
+        World(
+            gg.ring(5),
+            [RobotSpec(3, 0, probe, knowledge={"max_degree": 2})],
+        ).run()
+        assert captured["knowledge"] == {"max_degree": 2}
+
+
+class TestRoundDiscipline:
+    def test_one_action_per_round(self):
+        """A robot acts exactly once per round: the number of activations of
+        a stay-loop equals the number of executed rounds."""
+        count = {"activations": 0}
+
+        def busy(ctx):
+            obs = yield
+            for _ in range(9):
+                count["activations"] += 1
+                obs = yield Action.stay()
+            yield Action.terminate()
+
+        World(gg.ring(5), [RobotSpec(3, 0, busy)]).run()
+        assert count["activations"] == 9
+
+    def test_simultaneous_start(self):
+        """All robots observe round 0 first — the paper's simultaneous wake."""
+        first_rounds = []
+
+        def probe(ctx):
+            obs = yield
+            first_rounds.append(obs.round)
+            yield Action.terminate()
+
+        specs = [RobotSpec(l, 0, probe) for l in (2, 5, 9)]
+        World(gg.ring(5), specs).run()
+        assert first_rounds == [0, 0, 0]
+
+
+class TestDeterminism:
+    def test_full_run_reproducible(self):
+        g = gg.erdos_renyi(9, seed=3)
+        starts = [0, 0, 4, 7]
+        labels = [3, 9, 5, 14]
+
+        def once():
+            specs = [
+                RobotSpec(l, s, faster_gathering_program())
+                for l, s in zip(labels, starts)
+            ]
+            return World(g, specs, strict=True).run()
+
+        a, b = once(), once()
+        assert a.rounds == b.rounds
+        assert a.positions == b.positions
+        assert a.metrics.total_moves == b.metrics.total_moves
+        assert a.metrics.moves_by_robot == b.metrics.moves_by_robot

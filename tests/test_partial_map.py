@@ -1,0 +1,125 @@
+"""Tests for the robot-side partial map structure."""
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.isomorphism import is_isomorphic
+from repro.mapping.partial_map import RobotMap
+
+
+def full_map_of(graph):
+    """Simulator-side shortcut: copy a PortGraph into a RobotMap."""
+    rmap = RobotMap(graph.degree(0))
+    ids = {0: 0}
+    import collections
+
+    q = collections.deque([0])
+    while q:
+        v = q.popleft()
+        for p in graph.ports(v):
+            u, back = graph.traverse(v, p)
+            if u not in ids:
+                ids[u] = rmap.add_node(graph.degree(u))
+                q.append(u)
+            if not rmap.resolved(ids[v], p):
+                rmap.set_edge(ids[v], p, ids[u], back)
+    return rmap
+
+
+class TestConstruction:
+    def test_root_only(self):
+        rmap = RobotMap(3)
+        assert rmap.num_nodes == 1
+        assert not rmap.complete()
+        assert len(rmap.frontier) == 3
+
+    def test_add_node_frontier(self):
+        rmap = RobotMap(1)
+        w = rmap.add_node(2)
+        assert w == 1
+        assert rmap.num_nodes == 2
+        # 1 port at root + 2 at new node
+        assert len(rmap.frontier) == 3
+
+    def test_set_edge_resolves_both_sides(self):
+        rmap = RobotMap(1)
+        w = rmap.add_node(1)
+        rmap.set_edge(0, 0, w, 0)
+        assert rmap.resolved(0, 0) and rmap.resolved(w, 0)
+        assert rmap.complete()
+
+    def test_conflicting_edge_rejected(self):
+        rmap = RobotMap(2)
+        a = rmap.add_node(1)
+        b = rmap.add_node(1)
+        rmap.set_edge(0, 0, a, 0)
+        with pytest.raises(ValueError, match="conflicting"):
+            rmap.set_edge(0, 0, b, 0)
+
+    def test_next_frontier_skips_resolved(self):
+        rmap = RobotMap(2)
+        a = rmap.add_node(2)
+        rmap.set_edge(0, 0, a, 0)
+        u, p = rmap.next_frontier()
+        assert (u, p) == (0, 1)
+
+    def test_next_frontier_empty(self):
+        rmap = RobotMap(1)
+        a = rmap.add_node(1)
+        rmap.set_edge(0, 0, a, 0)
+        assert rmap.next_frontier() is None
+
+
+class TestNavigation:
+    def test_route_on_copied_graph(self):
+        g = gg.grid(3, 3)
+        rmap = full_map_of(g)
+        route = rmap.route(0, 8)
+        assert len(route) == 4  # grid distance (0,0)->(2,2)
+
+    def test_route_self(self):
+        rmap = full_map_of(gg.ring(5))
+        assert rmap.route(2, 2) == []
+
+    def test_route_unreachable(self):
+        rmap = RobotMap(1)  # unresolved port: no edges yet
+        rmap.add_node(1)
+        with pytest.raises(ValueError, match="unreachable"):
+            rmap.route(0, 1)
+
+    def test_euler_tour_covers(self):
+        g = gg.lollipop(9)
+        rmap = full_map_of(g)
+        ports, nodes = rmap.euler_tour(0)
+        assert len(ports) == 2 * (rmap.num_nodes - 1)
+        assert nodes[0] == nodes[-1] == 0
+        assert set(nodes) == set(range(rmap.num_nodes))
+
+    def test_euler_tour_partial_map(self):
+        # tour over the resolved part only
+        rmap = RobotMap(2)
+        a = rmap.add_node(2)
+        rmap.set_edge(0, 0, a, 0)
+        ports, nodes = rmap.euler_tour(0)
+        assert nodes == [0, a, 0]
+
+
+class TestExport:
+    @pytest.mark.parametrize(
+        "graph", [gg.ring(7), gg.star(6), gg.complete(5), gg.erdos_renyi(9, seed=2)],
+        ids=["ring", "star", "complete", "er"],
+    )
+    def test_roundtrip_isomorphic(self, graph):
+        rmap = full_map_of(graph)
+        assert rmap.complete()
+        assert is_isomorphic(rmap.to_port_graph(), graph)
+
+    def test_incomplete_export_rejected(self):
+        rmap = RobotMap(2)
+        with pytest.raises(ValueError, match="incomplete"):
+            rmap.to_port_graph()
+
+    def test_memory_estimate_scales_with_edges(self):
+        small = full_map_of(gg.ring(8))
+        big = full_map_of(gg.complete(8))
+        assert big.memory_bits_estimate() > small.memory_bits_estimate()

@@ -1,0 +1,116 @@
+"""Tests for placements and label assignment (the adversary's knobs)."""
+
+import pytest
+
+from repro.analysis.placement import (
+    PlacementError,
+    adversarial_scatter,
+    assign_labels,
+    dispersed_random,
+    dispersed_with_pair_distance,
+    min_pairwise_distance,
+    undispersed_placement,
+)
+from repro.core import bounds
+from repro.graphs import generators as gg
+
+
+class TestMinPairwiseDistance:
+    def test_colocated_is_zero(self):
+        g = gg.ring(6)
+        assert min_pairwise_distance(g, [2, 2, 5]) == 0
+
+    def test_single_robot_none(self):
+        g = gg.ring(6)
+        assert min_pairwise_distance(g, [2]) is None
+
+    def test_ring_distances(self):
+        g = gg.ring(10)
+        assert min_pairwise_distance(g, [0, 3, 7]) == 3
+
+
+class TestUndispersed:
+    def test_has_collision(self):
+        g = gg.erdos_renyi(10, seed=1)
+        for seed in range(5):
+            starts = undispersed_placement(g, 5, seed=seed)
+            assert len(starts) == 5
+            assert min_pairwise_distance(g, starts) == 0
+
+    def test_needs_two(self):
+        with pytest.raises(PlacementError):
+            undispersed_placement(gg.ring(5), 1)
+
+
+class TestDispersed:
+    def test_distinct_nodes(self):
+        g = gg.grid(3, 4)
+        starts = dispersed_random(g, 6, seed=2)
+        assert len(set(starts)) == 6
+
+    def test_too_many_rejected(self):
+        with pytest.raises(PlacementError):
+            dispersed_random(gg.ring(5), 6)
+
+    @pytest.mark.parametrize("dist", [1, 2, 3])
+    def test_exact_pair_distance(self, dist):
+        g = gg.ring(12)
+        starts = dispersed_with_pair_distance(g, 3, dist, seed=3)
+        assert min_pairwise_distance(g, starts) == dist
+
+    def test_impossible_distance_rejected(self):
+        g = gg.complete(6)  # diameter 1
+        with pytest.raises(PlacementError):
+            dispersed_with_pair_distance(g, 2, 3, seed=1)
+
+    def test_distance_zero_rejected(self):
+        with pytest.raises(PlacementError):
+            dispersed_with_pair_distance(gg.ring(6), 2, 0)
+
+
+class TestScatter:
+    def test_scatter_distinct(self):
+        g = gg.grid(4, 4)
+        starts = adversarial_scatter(g, 5, seed=1)
+        assert len(set(starts)) == 5
+
+    def test_scatter_spreads(self):
+        """Farthest-point scatter should beat random placement's min dist."""
+        g = gg.ring(20)
+        k = 4
+        scatter_d = min_pairwise_distance(g, adversarial_scatter(g, k, seed=1))
+        random_ds = [
+            min_pairwise_distance(g, dispersed_random(g, k, seed=s)) for s in range(10)
+        ]
+        assert scatter_d >= max(random_ds) - 1
+
+    def test_scatter_too_many(self):
+        with pytest.raises(PlacementError):
+            adversarial_scatter(gg.ring(5), 6)
+
+
+class TestLabels:
+    def test_compact(self):
+        assert assign_labels(4, 10, "compact") == [1, 2, 3, 4]
+
+    def test_adversarial_long_max_length(self):
+        labels = assign_labels(3, 10, "adversarial_long")
+        assert labels == [98, 99, 100]
+        lens = {len(bounds.id_bits_lsb_first(l)) for l in labels}
+        assert len(lens) == 1  # equal bit lengths
+
+    def test_random_unique_in_range(self):
+        labels = assign_labels(8, 12, "random", seed=5)
+        assert len(set(labels)) == 8
+        assert all(1 <= l <= 144 for l in labels)
+
+    def test_deterministic(self):
+        assert assign_labels(5, 10, seed=3) == assign_labels(5, 10, seed=3)
+
+    def test_over_capacity(self):
+        with pytest.raises(ValueError):
+            assign_labels(10, 3, "compact")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown label scheme"):
+            assign_labels(3, 10, "bogus")

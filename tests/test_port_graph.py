@@ -1,0 +1,149 @@
+"""Unit tests for the anonymous port-labeled graph core."""
+
+import pickle
+
+import pytest
+
+from repro.graphs.port_graph import Edge, PortGraph, PortGraphError, build_from_pairs
+
+
+def tiny_path() -> PortGraph:
+    # 0 -(0|0)- 1 -(1|0)- 2
+    return PortGraph(3, [Edge(0, 1, 0, 0), Edge(1, 2, 1, 0)])
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = tiny_path()
+        assert g.n == 3
+        assert g.m == 2
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert g.degree(2) == 1
+        assert g.max_degree == 2
+        assert g.min_degree == 1
+
+    def test_edges_accept_tuples(self):
+        g = PortGraph(2, [(0, 1, 0, 0)])
+        assert g.m == 1
+        assert g.traverse(0, 0) == (1, 0)
+
+    def test_single_node(self):
+        g = PortGraph(1, [])
+        assert g.n == 1
+        assert g.m == 0
+        assert g.degree(0) == 0
+        assert g.is_connected()
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(PortGraphError):
+            PortGraph(0, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(PortGraphError, match="self-loop"):
+            PortGraph(2, [Edge(0, 0, 0, 1)])
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(PortGraphError, match="parallel"):
+            PortGraph(2, [Edge(0, 1, 0, 0), Edge(1, 0, 1, 1)])
+
+    def test_rejects_duplicate_port(self):
+        with pytest.raises(PortGraphError, match="duplicate port"):
+            PortGraph(3, [Edge(0, 1, 0, 0), Edge(0, 2, 0, 0)])
+
+    def test_rejects_port_gap(self):
+        # node 0 has ports {0, 2}: not contiguous
+        with pytest.raises(PortGraphError, match="ports must be exactly"):
+            PortGraph(3, [Edge(0, 1, 0, 0), Edge(0, 2, 2, 0)])
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(PortGraphError, match="outside"):
+            PortGraph(2, [Edge(0, 5, 0, 0)])
+
+
+class TestTraverse:
+    def test_traverse_returns_entry_port(self):
+        g = tiny_path()
+        assert g.traverse(0, 0) == (1, 0)
+        assert g.traverse(1, 0) == (0, 0)
+        assert g.traverse(1, 1) == (2, 0)
+        assert g.traverse(2, 0) == (1, 1)
+
+    def test_traverse_is_involutive(self):
+        g = tiny_path()
+        for v in g.nodes():
+            for p in g.ports(v):
+                u, q = g.traverse(v, p)
+                assert g.traverse(u, q) == (v, p)
+
+    def test_invalid_port_raises(self):
+        g = tiny_path()
+        with pytest.raises(PortGraphError, match="port"):
+            g.traverse(0, 1)
+
+    def test_neighbor_and_neighbors(self):
+        g = tiny_path()
+        assert g.neighbor(1, 0) == 0
+        assert list(g.neighbors(1)) == [0, 2]
+
+    def test_port_to(self):
+        g = tiny_path()
+        assert g.port_to(1, 2) == 1
+        with pytest.raises(PortGraphError):
+            g.port_to(0, 2)
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert tiny_path().is_connected()
+
+    def test_disconnected(self):
+        g = PortGraph(4, [Edge(0, 1, 0, 0), Edge(2, 3, 0, 0)])
+        assert not g.is_connected()
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert tiny_path() == tiny_path()
+        assert hash(tiny_path()) == hash(tiny_path())
+
+    def test_different_ports_not_equal(self):
+        a = PortGraph(3, [Edge(0, 1, 0, 0), Edge(1, 2, 1, 0)])
+        b = PortGraph(3, [Edge(0, 1, 0, 1), Edge(1, 2, 0, 0)])
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert tiny_path() != "graph"
+
+
+class TestInterop:
+    def test_networkx_roundtrip_preserves_structure(self):
+        g = tiny_path()
+        nx_g = g.to_networkx()
+        assert nx_g.number_of_nodes() == 3
+        assert nx_g.number_of_edges() == 2
+        back = PortGraph.from_networkx(nx_g)
+        assert back.n == 3 and back.m == 2
+
+    def test_pickle_roundtrip(self):
+        g = tiny_path()
+        g2 = pickle.loads(pickle.dumps(g))
+        assert g2 == g
+
+    def test_build_from_pairs(self):
+        ports = {(0, 1): 0, (1, 0): 1, (1, 2): 0, (2, 1): 0}
+        g = build_from_pairs(3, [(0, 1), (1, 2)], ports)
+        assert g.traverse(1, 1) == (0, 0)
+        assert g.traverse(1, 0) == (2, 0)
+
+
+class TestEdge:
+    def test_other(self):
+        e = Edge(1, 2, 0, 1)
+        assert e.other(1) == 2
+        assert e.other(2) == 1
+        with pytest.raises(PortGraphError):
+            e.other(3)
+
+    def test_endpoints(self):
+        assert Edge(1, 2, 0, 1).endpoints() == (1, 2)

@@ -1,0 +1,64 @@
+"""Tests for port-numbering strategies."""
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.port_numbering import STRATEGIES, assign_ports, renumber
+
+
+PAIRS = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_all_strategies_produce_valid_graphs(strategy):
+    g = assign_ports(4, PAIRS, strategy=strategy, seed=3)
+    assert g.n == 4 and g.m == 5
+    for v in g.nodes():
+        for p in g.ports(v):
+            u, q = g.traverse(v, p)
+            assert g.traverse(u, q) == (v, p)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategies_deterministic(strategy):
+    a = assign_ports(4, PAIRS, strategy=strategy, seed=7)
+    b = assign_ports(4, PAIRS, strategy=strategy, seed=7)
+    assert a == b
+
+
+def test_random_seeds_differ():
+    outs = {assign_ports(4, PAIRS, strategy="random", seed=s) for s in range(8)}
+    assert len(outs) > 1
+
+
+def test_canonical_orders_by_neighbor_index():
+    g = assign_ports(4, PAIRS, strategy="canonical")
+    # node 0 neighbors sorted: 1, 2, 3 -> ports 0, 1, 2
+    assert g.neighbor(0, 0) == 1
+    assert g.neighbor(0, 1) == 2
+    assert g.neighbor(0, 2) == 3
+
+
+def test_reversed_is_canonical_backwards():
+    g = assign_ports(4, PAIRS, strategy="reversed")
+    assert g.neighbor(0, 0) == 3
+    assert g.neighbor(0, 2) == 1
+
+
+def test_renumber_keeps_structure():
+    g = gg.erdos_renyi(10, seed=1)
+    h = renumber(g, "random", seed=9)
+    assert h.n == g.n and h.m == g.m
+    assert sorted(h.degree(v) for v in h.nodes()) == sorted(
+        g.degree(v) for v in g.nodes()
+    )
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError, match="unknown port strategy"):
+        assign_ports(4, PAIRS, strategy="bogus")
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError, match="self-loop"):
+        assign_ports(3, [(0, 0)])

@@ -1,0 +1,138 @@
+"""Tests for the program fragments in repro.core.proglets."""
+
+from repro.core.proglets import highest_free_label, sleep_until, wait_for_merge, walk_ports
+from repro.graphs import generators as gg
+from repro.sim.actions import Action
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+
+class TestHighestFree:
+    def test_picks_highest_free(self):
+        cards = [
+            {"id": 3, "following": None},
+            {"id": 9, "following": None},
+            {"id": 20, "following": 9},
+        ]
+        assert highest_free_label(cards, exclude=3) == 9
+
+    def test_excludes_self(self):
+        cards = [{"id": 9, "following": None}]
+        assert highest_free_label(cards, exclude=9) is None
+
+    def test_all_following(self):
+        cards = [{"id": 3, "following": 9}, {"id": 4, "following": 9}]
+        assert highest_free_label(cards, exclude=1) is None
+
+    def test_empty(self):
+        assert highest_free_label([], exclude=1) is None
+
+
+class TestSleepUntil:
+    def test_sleeps_to_exact_round(self):
+        woke = {}
+
+        def prog(ctx):
+            obs = yield
+            obs = yield from sleep_until(obs, 50)
+            woke["round"] = obs.round
+            yield Action.terminate()
+
+        World(gg.ring(5), [RobotSpec(1, 0, prog)]).run()
+        assert woke["round"] == 50
+
+    def test_noop_when_past(self):
+        woke = {}
+
+        def prog(ctx):
+            obs = yield
+            obs = yield from sleep_until(obs, 0)  # already there
+            woke["round"] = obs.round
+            yield Action.terminate()
+
+        World(gg.ring(5), [RobotSpec(1, 0, prog)]).run()
+        assert woke["round"] == 0
+
+
+class TestWalkPorts:
+    def test_walks_route(self):
+        from repro.graphs.traversal import walk as ground_truth_walk
+
+        g = gg.ring(6)
+        route = [1, 1, 1]
+        expected = ground_truth_walk(g, 0, route)[-1]
+        end = {}
+
+        def prog(ctx):
+            obs = yield
+            obs = yield from walk_ports(obs, route)
+            end["entry"] = obs.entry_port
+            yield Action.terminate()
+
+        res = World(g, [RobotSpec(1, 0, prog)]).run()
+        assert res.positions[1] == expected
+        assert res.metrics.total_moves == 3
+
+
+class TestWaitForMerge:
+    def test_times_out_alone(self):
+        out = {}
+
+        def prog(ctx):
+            obs = yield
+            obs, leader = yield from wait_for_merge(obs, 30, ctx.label)
+            out["leader"] = leader
+            out["round"] = obs.round
+            yield Action.terminate()
+
+        World(gg.ring(5), [RobotSpec(1, 0, prog)]).run()
+        assert out["leader"] is None
+        assert out["round"] == 30
+
+    def test_detects_higher_arrival(self):
+        out = {}
+
+        def waiter(ctx):
+            obs = yield
+            obs, leader = yield from wait_for_merge(
+                obs, 1000, ctx.label, card={"following": None}
+            )
+            out["leader"] = leader
+            out["round"] = obs.round
+            yield Action.terminate()
+
+        def visitor(ctx):
+            obs = yield
+            obs = yield Action.stay(card={"following": None})
+            obs = yield Action.move(0)  # arrive at waiter end of round 1
+            obs = yield Action.stay()
+            yield Action.terminate()
+
+        g = gg.path(2)
+        World(g, [RobotSpec(1, 1, waiter), RobotSpec(9, 0, visitor)], strict=True).run()
+        assert out["leader"] == 9
+        assert out["round"] == 2
+
+    def test_ignores_lower_arrival(self):
+        out = {}
+
+        def waiter(ctx):
+            obs = yield
+            obs, leader = yield from wait_for_merge(
+                obs, 40, ctx.label, card={"following": None}
+            )
+            out["leader"] = leader
+            out["round"] = obs.round
+            yield Action.terminate()
+
+        def visitor(ctx):
+            obs = yield
+            obs = yield Action.stay(card={"following": None})
+            obs = yield Action.move(0)
+            obs = yield from sleep_until(obs, 45)
+            yield Action.terminate()
+
+        g = gg.path(2)
+        World(g, [RobotSpec(9, 1, waiter), RobotSpec(1, 0, visitor)], strict=True).run()
+        assert out["leader"] is None  # lower robot does not trigger a merge
+        assert out["round"] == 40

@@ -1,0 +1,96 @@
+"""Tests for the replay recorder and ASCII rendering."""
+
+import pytest
+
+from repro.core.undispersed import undispersed_gathering_program
+from repro.graphs import generators as gg
+from repro.sim.actions import Action
+from repro.sim.replay import Frame, ReplayRecorder, render_strip
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+
+class TestRecorder:
+    def test_records_changes_only(self):
+        rec = ReplayRecorder()
+        rec.snapshot(0, {1: 0})
+        rec.snapshot(1, {1: 0})  # unchanged: skipped
+        rec.snapshot(2, {1: 3})
+        assert len(rec) == 2
+        assert [f.round for f in rec] == [0, 2]
+
+    def test_records_all_when_requested(self):
+        rec = ReplayRecorder(changes_only=False)
+        rec.snapshot(0, {1: 0})
+        rec.snapshot(1, {1: 0})
+        assert len(rec) == 2
+
+    def test_subsampling_cap(self):
+        rec = ReplayRecorder(max_frames=8)
+        for r in range(100):
+            rec.snapshot(r, {1: r % 5})
+        assert len(rec) <= 9
+        assert rec.dropped > 0
+
+    def test_frame_as_dict(self):
+        f = Frame(3, ((1, 0), (2, 5)))
+        assert f.as_dict() == {1: 0, 2: 5}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayRecorder(max_frames=1)
+
+
+class TestIntegration:
+    def test_world_snapshots_moves(self):
+        def mover(ctx):
+            obs = yield
+            obs = yield Action.move(0)
+            obs = yield Action.move(0)
+            yield Action.terminate()
+
+        rec = ReplayRecorder()
+        World(gg.ring(6), [RobotSpec(1, 0, mover)]).run(replay=rec)
+        assert len(rec) >= 2
+        nodes = [f.as_dict()[1] for f in rec]
+        assert nodes[0] != nodes[-1]
+
+    def test_full_gathering_replay(self):
+        rec = ReplayRecorder()
+        specs = [
+            RobotSpec(3, 0, undispersed_gathering_program()),
+            RobotSpec(9, 0, undispersed_gathering_program()),
+            RobotSpec(12, 4, undispersed_gathering_program()),
+        ]
+        res = World(gg.path(8), specs).run(replay=rec)
+        assert res.gathered
+        final = rec.frames[-1].as_dict()
+        assert len(set(final.values())) == 1  # last frame is gathered
+
+
+class TestRender:
+    def test_render_shape(self):
+        rec = ReplayRecorder()
+        rec.snapshot(0, {1: 0, 2: 0, 3: 4})
+        rec.snapshot(5, {1: 1, 2: 0, 3: 4})
+        out = render_strip(rec, 6)
+        lines = out.splitlines()
+        assert "round" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 frames
+        assert "2" in lines[2]  # two robots on node 0 initially
+
+    def test_render_empty(self):
+        assert "no frames" in render_strip(ReplayRecorder(), 5)
+
+    def test_render_subsamples_rows(self):
+        rec = ReplayRecorder()
+        for r in range(200):
+            rec.snapshot(r, {1: r % 7})
+        out = render_strip(rec, 7, max_rows=10)
+        assert len(out.splitlines()) <= 14
+
+    def test_ten_plus_robots_star(self):
+        rec = ReplayRecorder()
+        rec.snapshot(0, {i: 0 for i in range(1, 12)})
+        out = render_strip(rec, 3)
+        assert "*" in out

@@ -1,0 +1,65 @@
+"""Tests for the canned sweeps and the Markdown report generator."""
+
+import pytest
+
+from repro.analysis import sweeps
+from repro.analysis.report import generate_report
+
+
+class TestSweeps:
+    def test_undispersed_sweep_shape(self):
+        out = sweeps.undispersed_sweep(ns=(8, 12), k=3)
+        assert len(out["rows"]) == 2
+        assert out["slope"] <= out["claimed_exponent"] + 0.4
+        assert all(r["detected"] for r in out["rows"])
+
+    def test_regime_sweep(self):
+        rows = sweeps.regime_sweep(ns=(9,))
+        regimes = {r["regime"] for r in rows}
+        assert regimes == {"n3", "n4logn", "n5"}
+        assert all(r["detected"] for r in rows)
+
+    def test_staged_distance_sweep(self):
+        rows = sweeps.staged_distance_sweep(n=10, distances=(0, 1))
+        assert rows[0]["gathered_at_step"] == 1
+        assert rows[1]["gathered_at_step"] <= 2
+        assert all(r["rounds"] <= r["boundary"] + 1 for r in rows)
+
+    def test_lemma15_sweep_bound_holds(self):
+        rows = sweeps.lemma15_sweep(seeds=2)
+        assert rows and all(r["holds"] for r in rows)
+
+    def test_detection_tail_sweep(self):
+        rows = sweeps.detection_tail_sweep(n=8, k=2)
+        assert {r["algorithm"] for r in rows} == {"uxs", "faster"}
+        assert all(r["tail"] >= 0 for r in rows)
+
+    def test_cost_sweep(self):
+        rows = sweeps.cost_sweep(ns=(9,))
+        assert rows[0]["faster_moves"] < rows[0]["tz_moves"]
+
+
+class TestReport:
+    def test_generates_markdown(self):
+        text = generate_report(quick=True)
+        assert text.startswith("# Reproduction report")
+        for heading in ("Theorem 8", "Theorem 16", "Theorem 12", "Lemma 15",
+                        "Detection overhead", "Cost metric"):
+            assert heading in text
+        # markdown tables present
+        assert "|---" in text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "Theorem 16" in out.read_text()
+
+    def test_cli_show(self, capsys):
+        from repro.cli import main
+
+        assert main(["show", "--family", "ring", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "adjacency" in out and "p0->" in out

@@ -1,0 +1,144 @@
+"""Integration tests for the token-based map construction (Phase 1).
+
+These run real finder/helper pairs in the simulator and validate the maps
+against the ground truth up to port-preserving isomorphism, plus the O(n^3)
+budget from :func:`repro.core.bounds.phase1_rounds`.
+"""
+
+import pytest
+
+from repro.core import bounds
+from repro.core.undispersed import undispersed_gathering_program
+from repro.graphs import generators as gg
+from repro.graphs.isomorphism import is_isomorphic
+from repro.mapping.partial_map import RobotMap
+from repro.mapping.token_map import build_map_with_token
+from repro.sim.actions import Action
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+
+BUILT_MAPS = {}
+
+
+def map_probe_program(result_sink):
+    """A finder-like program that builds the map, stores it, terminates."""
+
+    def factory(ctx):
+        def program(ctx=ctx):
+            obs = yield
+            labels = sorted(c["id"] for c in obs.cards)
+            me = ctx.label
+            gid = labels[0]
+            if me == gid:
+                card = {"state": "finder", "groupid": gid, "tok": "follow", "following": None}
+                obs = yield Action.stay(card=card)
+                obs, rmap, here = yield from build_map_with_token(
+                    ctx, obs, gid, lambda tok: {
+                        "state": "finder", "groupid": gid, "tok": tok, "following": None
+                    },
+                )
+                result_sink["map"] = rmap
+                result_sink["rounds"] = obs.round
+                result_sink["here"] = here
+                obs = yield Action.stay(
+                    card={"state": "finder", "groupid": gid, "tok": "done", "following": None}
+                )
+                yield Action.terminate()
+            else:
+                # helper: phase-1 token behaviour until the finder says done
+                obs = yield Action.stay(
+                    card={"state": "helper", "groupid": gid, "tok": "-", "following": None}
+                )
+                while True:
+                    fc = next((c for c in obs.cards if c.get("id") == gid), None)
+                    if fc is None:
+                        obs = yield Action.sleep(None, wake_on_meet=True)
+                    elif fc.get("tok") == "follow":
+                        obs = yield Action.follow_once(gid)
+                    elif fc.get("tok") == "done":
+                        yield Action.terminate()
+                        return
+                    else:  # hold / park
+                        obs = yield Action.stay()
+
+        return program(ctx)
+
+    return factory
+
+
+GRAPHS = [
+    ("ring", gg.ring(8)),
+    ("path", gg.path(7)),
+    ("star", gg.star(7)),
+    ("grid", gg.grid(3, 3)),
+    ("complete", gg.complete(6)),
+    ("lollipop", gg.lollipop(8)),
+    ("btree", gg.binary_tree(7)),
+    ("er", gg.erdos_renyi(10, seed=6)),
+    ("regular", gg.random_regular(8, 3, seed=2)),
+    ("ring-random-ports", gg.ring(8, numbering="random", seed=3)),
+    ("er-random-ports", gg.erdos_renyi(10, seed=6, numbering="random")),
+]
+
+
+@pytest.mark.parametrize("name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
+@pytest.mark.parametrize("start", [0, "mid"])
+def test_map_isomorphic_and_within_budget(name, graph, start):
+    node = 0 if start == 0 else graph.n // 2
+    sink = {}
+    specs = [
+        RobotSpec(label=2, start=node, factory=map_probe_program(sink)),
+        RobotSpec(label=9, start=node, factory=map_probe_program(sink)),
+    ]
+    World(graph, specs, strict=True).run(max_rounds=bounds.phase1_rounds(graph.n) + 10)
+    rmap: RobotMap = sink["map"]
+    assert rmap.complete()
+    assert rmap.num_nodes == graph.n
+    assert rmap.num_resolved_edges == graph.m
+    assert is_isomorphic(rmap.to_port_graph(), graph)
+    assert sink["rounds"] <= bounds.phase1_rounds(graph.n)
+
+
+def test_two_concurrent_finder_pairs_do_not_interfere():
+    graph = gg.erdos_renyi(10, seed=8)
+    sink_a, sink_b = {}, {}
+    specs = [
+        RobotSpec(label=2, start=0, factory=map_probe_program(sink_a)),
+        RobotSpec(label=9, start=0, factory=map_probe_program(sink_a)),
+        RobotSpec(label=3, start=5, factory=map_probe_program(sink_b)),
+        RobotSpec(label=8, start=5, factory=map_probe_program(sink_b)),
+    ]
+    World(graph, specs, strict=True).run(max_rounds=bounds.phase1_rounds(graph.n) + 10)
+    for sink in (sink_a, sink_b):
+        assert is_isomorphic(sink["map"].to_port_graph(), graph)
+
+
+def test_single_node_graph_trivial_map():
+    from repro.graphs.port_graph import PortGraph
+
+    # n=1 handled by the undispersed program's special case; build_map on a
+    # 1-node graph returns an empty-frontier map immediately.
+    g = PortGraph(1, [])
+    sink = {}
+    # run through a tiny driver instead of World (graph n=1, two robots)
+    specs = [
+        RobotSpec(label=2, start=0, factory=map_probe_program(sink)),
+        RobotSpec(label=9, start=0, factory=map_probe_program(sink)),
+    ]
+    World(g, specs, strict=True).run(max_rounds=100)
+    assert sink["map"].num_nodes == 1
+
+
+def test_multiple_helpers_one_token():
+    """Three helpers all act as the token; the map must still be exact."""
+    graph = gg.grid(3, 3)
+    sink = {}
+    specs = [
+        RobotSpec(label=2, start=4, factory=map_probe_program(sink)),
+        RobotSpec(label=5, start=4, factory=map_probe_program(sink)),
+        RobotSpec(label=7, start=4, factory=map_probe_program(sink)),
+        RobotSpec(label=9, start=4, factory=map_probe_program(sink)),
+    ]
+    World(graph, specs, strict=True).run(max_rounds=bounds.phase1_rounds(graph.n) + 10)
+    assert is_isomorphic(sink["map"].to_port_graph(), graph)

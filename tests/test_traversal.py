@@ -1,0 +1,142 @@
+"""Tests for graph traversal utilities."""
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.port_graph import Edge, PortGraph, PortGraphError
+from repro.graphs.traversal import (
+    ball,
+    bfs_distances,
+    bfs_layers,
+    diameter,
+    distance,
+    eccentricity,
+    euler_tour_ports,
+    pairwise_distances,
+    require_connected,
+    shortest_port_route,
+    spanning_tree_ports,
+    walk,
+)
+
+
+class TestBfs:
+    def test_distances_on_ring(self):
+        g = gg.ring(8)
+        d = bfs_distances(g, 0)
+        assert d[0] == 0
+        assert d[4] == 4
+        assert d[7] == 1
+
+    def test_layers(self):
+        g = gg.star(6)
+        layers = bfs_layers(g, 0)
+        assert layers[0] == [0]
+        assert sorted(layers[1]) == [1, 2, 3, 4, 5]
+
+    def test_distance_symmetry(self):
+        g = gg.erdos_renyi(12, seed=9)
+        for u in range(0, 12, 3):
+            for v in range(0, 12, 4):
+                assert distance(g, u, v) == distance(g, v, u)
+
+    def test_pairwise_matches_single(self):
+        g = gg.grid(3, 3)
+        mat = pairwise_distances(g)
+        for v in g.nodes():
+            assert mat[v] == bfs_distances(g, v)
+
+    def test_unreachable_is_minus_one(self):
+        g = PortGraph(3, [Edge(0, 1, 0, 0)])
+        assert bfs_distances(g, 0)[2] == -1
+
+
+class TestMetricsGeometry:
+    def test_ring_diameter(self):
+        assert diameter(gg.ring(8)) == 4
+        assert diameter(gg.ring(9)) == 4
+
+    def test_path_eccentricity(self):
+        g = gg.path(6)
+        assert eccentricity(g, 0) == 5
+        assert eccentricity(g, 3) == 3
+
+    def test_ball_on_path(self):
+        g = gg.path(7)
+        assert sorted(ball(g, 3, 1)) == [2, 3, 4]
+        assert sorted(ball(g, 0, 2)) == [0, 1, 2]
+        assert sorted(ball(g, 3, 0)) == [3]
+
+    def test_require_connected(self):
+        require_connected(gg.ring(5))
+        with pytest.raises(PortGraphError):
+            require_connected(PortGraph(2, []))
+
+
+class TestSpanningTree:
+    def test_tree_reaches_everything(self):
+        g = gg.erdos_renyi(11, seed=4)
+        tree = spanning_tree_ports(g, 0)
+        reached = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for child, _po, _pb in tree[v]:
+                reached.add(child)
+                stack.append(child)
+        assert reached == set(g.nodes())
+
+    def test_tree_port_consistency(self):
+        g = gg.grid(3, 3)
+        tree = spanning_tree_ports(g, 4)
+        for v, children in tree.items():
+            for child, p_out, p_back in children:
+                assert g.traverse(v, p_out) == (child, p_back)
+
+
+class TestEulerTour:
+    @pytest.mark.parametrize(
+        "graph",
+        [gg.ring(8), gg.path(6), gg.star(7), gg.grid(3, 4), gg.complete(5),
+         gg.lollipop(8), gg.binary_tree(9)],
+        ids=["ring", "path", "star", "grid", "complete", "lollipop", "btree"],
+    )
+    def test_tour_covers_and_returns(self, graph):
+        for root in (0, graph.n // 2, graph.n - 1):
+            ports = euler_tour_ports(graph, root)
+            assert len(ports) == 2 * (graph.n - 1)
+            visited = walk(graph, root, ports)
+            assert visited[0] == visited[-1] == root
+            assert set(visited) == set(graph.nodes())
+
+    def test_tour_single_node(self):
+        g = PortGraph(1, [])
+        assert euler_tour_ports(g, 0) == []
+
+
+class TestWalks:
+    def test_walk_executes(self):
+        g = gg.ring(6)
+        route = shortest_port_route(g, 0, 3)
+        assert len(route) == 3
+        assert walk(g, 0, route)[-1] == 3
+
+    def test_shortest_route_empty_for_self(self):
+        g = gg.ring(6)
+        assert shortest_port_route(g, 2, 2) == []
+
+    def test_shortest_route_length_matches_distance(self):
+        g = gg.erdos_renyi(12, seed=8)
+        for u in (0, 5):
+            for v in (3, 11):
+                assert len(shortest_port_route(g, u, v)) == distance(g, u, v)
+
+    def test_invalid_walk_raises(self):
+        g = gg.path(3)
+        with pytest.raises(PortGraphError):
+            walk(g, 0, [5])
+
+    def test_unreachable_route_raises(self):
+        g = PortGraph(3, [Edge(0, 1, 0, 0)])
+        with pytest.raises(PortGraphError, match="unreachable"):
+            shortest_port_route(g, 0, 2)

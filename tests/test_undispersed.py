@@ -1,0 +1,117 @@
+"""Tests for ``Undispersed-Gathering`` (Theorem 8)."""
+
+import pytest
+
+from repro.core import bounds
+from repro.core.undispersed import undispersed_gathering_program
+from repro.graphs import generators as gg
+from repro.analysis.placement import undispersed_placement
+from tests.conftest import run_world, small_battery
+
+
+class TestTheorem8:
+    @pytest.mark.parametrize("idx", range(len(small_battery())))
+    def test_gathering_with_detection_across_battery(self, idx, battery):
+        g = battery[idx]
+        starts = undispersed_placement(g, 4, seed=idx)
+        labels = [3, 7, 12, 25]
+        res = run_world(g, starts, labels, undispersed_gathering_program())
+        assert res.gathered, f"not gathered on graph #{idx}"
+        assert res.detected, f"detection failed on graph #{idx}"
+        assert res.rounds <= bounds.undispersed_rounds(g.n) + 1
+
+    def test_round_complexity_is_schedule_exact(self):
+        """Termination is counter-based: rounds == R(n) regardless of graph."""
+        for g in (gg.ring(8), gg.complete(8), gg.star(8)):
+            starts = undispersed_placement(g, 3, seed=1)
+            res = run_world(g, starts, [2, 5, 9], undispersed_gathering_program())
+            assert res.rounds == bounds.undispersed_rounds(g.n) + 1
+
+    def test_everyone_at_min_finders_node(self):
+        """Lemma 7: the gathering node is the min-groupid finder's Phase-2
+        start node."""
+        g = gg.ring(10)
+        # two groups: (2, 9) at node 0 and (4, 7) at node 5 -> min finder is 2
+        res = run_world(g, [0, 0, 5, 5], [2, 9, 4, 7], undispersed_gathering_program())
+        assert res.gathered and res.detected
+
+    def test_all_robots_on_one_node_from_start(self):
+        g = gg.erdos_renyi(9, seed=7)
+        res = run_world(g, [4] * 5, [2, 3, 5, 8, 13], undispersed_gathering_program())
+        assert res.gathered and res.detected
+
+    def test_many_waiters(self):
+        g = gg.grid(3, 4)
+        starts = [0, 0] + list(range(1, 9))
+        labels = list(range(2, 12))
+        res = run_world(g, starts, labels, undispersed_gathering_program())
+        assert res.gathered and res.detected
+
+    def test_multiple_groups_and_waiters(self):
+        g = gg.erdos_renyi(12, seed=3)
+        starts = [0, 0, 5, 5, 5, 9, 2, 7]
+        labels = [4, 11, 2, 8, 19, 3, 6, 14]
+        res = run_world(g, starts, labels, undispersed_gathering_program())
+        assert res.gathered and res.detected
+
+    def test_k_greater_than_n(self):
+        """k > n forces undispersed (pigeonhole) — always gatherable."""
+        g = gg.ring(5)
+        starts = [0, 1, 2, 3, 4, 0, 2]
+        labels = [2, 3, 5, 7, 11, 13, 17]
+        res = run_world(g, starts, labels, undispersed_gathering_program())
+        assert res.gathered and res.detected
+
+
+class TestDispersedInput:
+    def test_dispersed_input_is_a_noop(self):
+        """On a dispersed input all robots are waiters: nobody moves."""
+        g = gg.ring(8)
+        starts = [0, 3, 6]
+        res = run_world(
+            g, starts, [3, 5, 9], undispersed_gathering_program(terminate="if_not_alone")
+        )
+        assert not res.gathered
+        assert res.positions == {3: 0, 5: 3, 9: 6}
+        assert res.metrics.total_moves == 0
+
+    def test_single_robot(self):
+        g = gg.ring(6)
+        res = run_world(g, [2], [7], undispersed_gathering_program())
+        assert res.positions[7] == 2
+        assert res.metrics.total_moves == 0
+
+
+class TestStatsAndMemory:
+    def test_finder_records_map_stats(self):
+        g = gg.erdos_renyi(10, seed=2)
+        starts = undispersed_placement(g, 3, seed=5)
+        res = run_world(g, starts, [2, 5, 9], undispersed_gathering_program())
+        finder_stats = [s for s in res.stats.values() if "map_nodes" in s]
+        assert finder_stats
+        st = finder_stats[0]
+        assert st["map_nodes"] == g.n
+        assert st["map_edges"] == g.m
+        assert st["phase1_rounds_used"] <= bounds.phase1_rounds(g.n)
+
+    def test_memory_claim_shape(self):
+        """O(m log n): denser graph => more map memory."""
+        sparse = gg.ring(8)
+        dense = gg.complete(8)
+        mems = {}
+        for name, g in (("sparse", sparse), ("dense", dense)):
+            starts = undispersed_placement(g, 3, seed=1)
+            res = run_world(g, starts, [2, 5, 9], undispersed_gathering_program())
+            mems[name] = max(
+                s.get("map_memory_bits", 0) for s in res.stats.values()
+            )
+        assert mems["dense"] > mems["sparse"]
+
+
+class TestPortNumberingRobustness:
+    @pytest.mark.parametrize("numbering", ["canonical", "random", "reversed", "rotated"])
+    def test_gathering_under_any_numbering(self, numbering):
+        g = gg.erdos_renyi(9, seed=4, numbering=numbering)
+        starts = undispersed_placement(g, 4, seed=2)
+        res = run_world(g, starts, [2, 6, 9, 15], undispersed_gathering_program())
+        assert res.gathered and res.detected

@@ -1,0 +1,175 @@
+"""Tests for universal exploration sequences (construction + verification)."""
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.enumeration import all_port_graphs
+from repro.graphs.port_graph import PortGraph
+from repro.uxs.generators import (
+    certification_battery,
+    exhaustive_plan,
+    practical_plan,
+    splitmix_offsets,
+)
+from repro.uxs.sequence import UxsPlan, exploration_walk, next_port
+from repro.uxs.verify import (
+    cover_step,
+    covers,
+    covers_all_starts,
+    max_cover_step_all_starts,
+)
+
+
+class TestStepRule:
+    def test_next_port_wraps(self):
+        assert next_port(1, 3, 2) == 0
+        assert next_port(0, 0, 5) == 0
+        assert next_port(2, 2, 3) == 1
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ValueError):
+            next_port(0, 0, 0)
+
+    def test_walk_length(self):
+        g = gg.ring(6)
+        visited = exploration_walk(g, (1, 1, 1), 0)
+        assert len(visited) == 4
+        assert visited[0] == 0
+
+    def test_walk_deterministic(self):
+        g = gg.erdos_renyi(8, seed=1)
+        offsets = splitmix_offsets(8, 50)
+        assert exploration_walk(g, offsets, 3) == exploration_walk(g, offsets, 3)
+
+
+class TestSplitmix:
+    def test_deterministic_in_n(self):
+        assert splitmix_offsets(10, 100) == splitmix_offsets(10, 100)
+
+    def test_different_n_different_streams(self):
+        assert splitmix_offsets(10, 100) != splitmix_offsets(11, 100)
+
+    def test_streams_differ(self):
+        assert splitmix_offsets(10, 100, stream=0) != splitmix_offsets(10, 100, stream=1)
+
+    def test_prefix_stability(self):
+        # a longer request extends the same stream
+        assert splitmix_offsets(9, 200)[:50] == splitmix_offsets(9, 50)
+
+    def test_range(self):
+        assert all(0 <= s < 12 for s in splitmix_offsets(12, 500))
+
+
+class TestVerify:
+    def test_cover_step_ring(self):
+        g = gg.ring(5)
+        # always turn "advance by 1 from entry": entry+1 mod 2 alternates...
+        # use a known covering sequence: all 1s walks around the ring
+        visited = exploration_walk(g, (1,) * 10, 0)
+        assert set(visited) == set(range(5))
+        step = cover_step(g, (1,) * 10, 0)
+        assert step is not None and step <= 10
+
+    def test_cover_step_none_when_too_short(self):
+        g = gg.ring(8)
+        assert cover_step(g, (1,), 0) is None
+
+    def test_single_node_graph(self):
+        g = PortGraph(1, [])
+        assert cover_step(g, (), 0) == 0
+        assert covers(g, (), 0)
+
+    def test_covers_all_starts_consistency(self):
+        g = gg.erdos_renyi(7, seed=5)
+        plan = practical_plan(7)
+        assert covers_all_starts(g, plan.offsets)
+        worst = max_cover_step_all_starts(g, plan.offsets)
+        assert worst is not None and worst <= plan.T
+
+    def test_max_cover_none_on_failure(self):
+        g = gg.ring(9)
+        assert max_cover_step_all_starts(g, (0, 0)) is None
+
+
+class TestPracticalPlan:
+    def test_plan_is_cached_and_deterministic(self):
+        a = practical_plan(8)
+        b = practical_plan(8)
+        assert a is b  # lru_cache
+        assert a.provenance == "practical"
+        assert a.n == 8
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12, 16])
+    def test_plan_covers_battery(self, n):
+        plan = practical_plan(n)
+        for g in certification_battery(n):
+            assert covers_all_starts(g, plan.offsets), f"battery graph {g} uncovered"
+
+    def test_plan_covers_unseen_family_instances(self):
+        """The point of certification: graphs outside the battery (same n)
+        should be covered too; the harness still double-checks per run."""
+        plan = practical_plan(10)
+        for g in [
+            gg.grid(2, 5),
+            gg.star(10),
+            gg.caterpillar(10),
+            gg.cycle_with_chords(10),
+            gg.random_tree(10, seed=77),
+            gg.erdos_renyi(10, seed=123, numbering="random"),
+        ]:
+            assert covers_all_starts(g, plan.offsets)
+
+    def test_n1_plan_empty(self):
+        assert practical_plan(1).T == 0
+
+    def test_trim_keeps_worst_cover(self):
+        plan = practical_plan(9)
+        worst = 0
+        for g in certification_battery(9):
+            s = max_cover_step_all_starts(g, plan.offsets)
+            assert s is not None
+            worst = max(worst, s)
+        assert worst <= plan.T
+
+    def test_length_grows_reasonably(self):
+        # sanity: T should be at most the initial doubling length
+        import math
+
+        for n in (6, 10, 14):
+            plan = practical_plan(n)
+            assert plan.T <= 8 * n * n * max(1, math.ceil(math.log2(n)))
+
+
+class TestExhaustivePlan:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_truly_universal_tiny(self, n):
+        plan = exhaustive_plan(n)
+        for size in range(2, n + 1):
+            for g in all_port_graphs(size):
+                assert covers_all_starts(g, plan.offsets)
+
+    @pytest.mark.slow
+    def test_truly_universal_n4(self):
+        plan = exhaustive_plan(4)
+        for size in range(2, 5):
+            for g in all_port_graphs(size):
+                assert covers_all_starts(g, plan.offsets)
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            exhaustive_plan(5)
+
+    def test_plan_metadata(self):
+        plan = exhaustive_plan(3)
+        assert plan.provenance == "exhaustive"
+        assert len(plan) == plan.T
+
+
+class TestUxsPlanType:
+    def test_frozen(self):
+        plan = UxsPlan(3, (1, 2, 3))
+        with pytest.raises(AttributeError):
+            plan.n = 4  # type: ignore[misc]
+
+    def test_t_property(self):
+        assert UxsPlan(3, (1, 2)).T == 2

@@ -1,0 +1,91 @@
+"""Tests for UXS gathering with detection (Theorem 6)."""
+
+import pytest
+
+from repro.core import bounds
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+from repro.uxs.generators import practical_plan
+from repro.analysis.placement import dispersed_random
+from tests.conftest import run_world
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_any_number_of_robots(self, k):
+        g = gg.ring(8)
+        starts = dispersed_random(g, k, seed=k)
+        labels = [2 * i + 3 for i in range(k)]
+        res = run_world(g, starts, labels, uxs_gathering_program())
+        assert res.gathered and res.detected
+
+    @pytest.mark.parametrize(
+        "graph",
+        [gg.path(7), gg.star(7), gg.grid(3, 3), gg.lollipop(8),
+         gg.erdos_renyi(9, seed=2), gg.ring(8, numbering="random", seed=5)],
+        ids=["path", "star", "grid", "lollipop", "er", "ring-rand"],
+    )
+    def test_across_families(self, graph):
+        starts = dispersed_random(graph, 3, seed=7)
+        res = run_world(graph, starts, [3, 6, 13], uxs_gathering_program())
+        assert res.gathered and res.detected
+
+    def test_co_located_start_groups(self):
+        g = gg.ring(8)
+        res = run_world(g, [0, 0, 4], [3, 9, 5], uxs_gathering_program())
+        assert res.gathered and res.detected
+
+    def test_adversarial_equal_length_labels(self):
+        """Equal-length IDs force symmetry breaking through differing bits."""
+        g = gg.ring(9)
+        # 12=1100, 13=1011... lengths equal (4 bits): 12,13,14
+        res = run_world(g, [0, 3, 6], [12, 13, 14], uxs_gathering_program())
+        assert res.gathered and res.detected
+
+    def test_termination_never_premature(self):
+        """No robot may terminate before gathering is complete (Lemma 3)."""
+        g = gg.erdos_renyi(10, seed=11)
+        starts = dispersed_random(g, 4, seed=3)
+        res = run_world(g, starts, [3, 6, 9, 17], uxs_gathering_program())
+        assert res.detected  # detected == every termination was gathered
+
+    def test_rounds_within_schedule_budget(self):
+        g = gg.ring(8)
+        plan = practical_plan(8)
+        res = run_world(g, [0, 4], [3, 9], uxs_gathering_program())
+        worst = 1 + (bounds.schedule_bits(8) + 1) * 2 * plan.T + 1
+        assert res.rounds <= worst
+
+    def test_single_robot_terminates_after_own_schedule(self):
+        g = gg.ring(6)
+        plan = practical_plan(6)
+        res = run_world(g, [2], [5], uxs_gathering_program())
+        bits = bounds.id_bits_lsb_first(5)
+        expected = 1 + (len(bits) + 1) * 2 * plan.T  # bits + final 2T wait
+        assert res.gathered and res.detected
+        assert abs(res.rounds - expected) <= 2
+
+
+class TestLemmaMechanics:
+    def test_larger_id_wins_leadership(self):
+        """When groups merge, everyone follows the largest label."""
+        g = gg.ring(6)
+        res = run_world(g, [0, 0, 0], [3, 9, 5], uxs_gathering_program())
+        # the largest label's stats should show it ran its full schedule
+        assert res.gathered
+        # follower terminates with leader: same final round for all
+        terms = res.metrics.last_termination_round
+        assert terms is not None
+
+    def test_detect_false_runs_full_schedule(self):
+        """The gathering-only variant (TZ baseline mode) still gathers."""
+        g = gg.ring(8)
+        res = run_world(g, [0, 4], [3, 9], uxs_gathering_program(detect=False),
+                        stop_on_gather=True)
+        assert res.metrics.first_gather_round is not None
+
+    def test_oversized_label_rejected(self):
+        g = gg.ring(4)
+        with pytest.raises(Exception):
+            # label far above n^b: the program itself must refuse
+            run_world(g, [0], [10**9], uxs_gathering_program())

@@ -1,0 +1,120 @@
+"""Tests for World, RunResult, TraceRecorder, and RunMetrics."""
+
+import pytest
+
+from repro.core.undispersed import undispersed_gathering_program
+from repro.graphs import generators as gg
+from repro.graphs.port_graph import Edge, PortGraph
+from repro.sim.actions import Action
+from repro.sim.metrics import RunMetrics
+from repro.sim.robot import RobotSpec
+from repro.sim.trace import TraceRecorder
+from repro.sim.world import World
+
+
+def term_prog(ctx):
+    obs = yield
+    yield Action.terminate()
+
+
+class TestWorld:
+    def test_requires_connected(self):
+        g = PortGraph(2, [])
+        with pytest.raises(Exception, match="connected"):
+            World(g, [RobotSpec(1, 0, term_prog)])
+
+    def test_requires_robots(self):
+        with pytest.raises(ValueError, match="at least one"):
+            World(gg.ring(5), [])
+
+    def test_result_fields(self):
+        res = World(gg.ring(5), [RobotSpec(1, 2, term_prog)]).run()
+        assert res.gathered
+        assert res.final_node == 2
+        assert res.positions == {1: 2}
+        assert res.rounds == res.metrics.rounds
+        assert res.total_moves == 0
+
+    def test_not_gathered_final_node_none(self):
+        res = World(
+            gg.ring(5), [RobotSpec(1, 0, term_prog), RobotSpec(2, 3, term_prog)]
+        ).run()
+        assert not res.gathered
+        assert res.final_node is None
+        assert not res.detected
+
+    def test_stats_collected(self):
+        g = gg.ring(6)
+        specs = [
+            RobotSpec(2, 0, undispersed_gathering_program()),
+            RobotSpec(5, 0, undispersed_gathering_program()),
+        ]
+        res = World(g, specs).run()
+        assert res.stats[2].get("roles") == ["finder"]
+        assert res.stats[5].get("roles") == ["helper"]
+
+
+class TestTraceRecorder:
+    def test_records_moves_and_terminations(self):
+        def prog(ctx):
+            obs = yield
+            obs = yield Action.move(0)
+            yield Action.terminate()
+
+        tr = TraceRecorder()
+        World(gg.ring(5), [RobotSpec(1, 0, prog)]).run(trace=tr)
+        assert len(tr.of_kind("move")) == 1
+        assert len(tr.of_kind("terminate")) == 1
+        assert tr.for_robot(1)
+
+    def test_limit_drops(self):
+        def prog(ctx):
+            obs = yield
+            for _ in range(10):
+                obs = yield Action.move(0)
+            yield Action.terminate()
+
+        tr = TraceRecorder(limit=3)
+        World(gg.ring(5), [RobotSpec(1, 0, prog)]).run(trace=tr)
+        assert len(tr.events) == 3
+        assert tr.dropped > 0
+        assert "dropped" in tr.summary()
+
+    def test_kind_filter(self):
+        def prog(ctx):
+            obs = yield
+            obs = yield Action.move(0, note="hello")
+            yield Action.terminate()
+
+        tr = TraceRecorder(kinds=["note"])
+        World(gg.ring(5), [RobotSpec(1, 0, prog)]).run(trace=tr)
+        assert all(e.kind == "note" for e in tr)
+        assert len(tr) == 1
+
+    def test_summary_format(self):
+        tr = TraceRecorder()
+        tr.record(5, "move", 3, (0, 1))
+        line = tr.summary()
+        assert "round" in line and "robot 3" in line and "move" in line
+
+
+class TestRunMetrics:
+    def test_as_dict(self):
+        m = RunMetrics(rounds=10, total_moves=4)
+        d = m.as_dict()
+        assert d["rounds"] == 10
+        assert d["total_moves"] == 4
+        assert "first_gather_round" in d
+
+    def test_moves_accounting(self):
+        def mover(ctx):
+            obs = yield
+            obs = yield Action.move(0)
+            obs = yield Action.move(0)
+            yield Action.terminate()
+
+        res = World(gg.ring(6), [RobotSpec(1, 0, mover)]).run()
+        assert res.metrics.total_moves == 2
+        assert res.metrics.max_moves == 2
+        assert res.metrics.moves_by_robot == {1: 2}
+        assert res.metrics.active_rounds_by_robot[1] == 3
