@@ -12,12 +12,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import assign_labels, dispersed_random, run_gathering, undispersed_placement
+from repro.analysis import assign_labels, dispersed_random, run_gathering
 from repro.core.faster_gathering import faster_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
 from repro.graphs import generators as gg
-from repro.sim.robot import RobotSpec
-from repro.sim.world import World
 
 from conftest import print_experiment
 

@@ -20,7 +20,7 @@ import math
 
 import pytest
 
-from repro.analysis import assign_labels, dispersed_random, run_gathering, undispersed_placement
+from repro.analysis import assign_labels, dispersed_random, undispersed_placement
 from repro.core.faster_gathering import faster_gathering_program
 from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import dispersed_with_pair_distance
 from repro.analysis.fitting import loglog_slope
 from repro.core import bounds
 from repro.core.hop_meeting import hop_meeting_program

@@ -5,6 +5,13 @@ benchmark the simulator itself: robot-activations per second on movement-
 heavy and wait-heavy workloads.  They exist so that future changes to the
 scheduler (the hottest loop in the repo) show up as wall-clock regressions
 in ``--benchmark-compare`` runs.
+
+The ``sweep-throughput`` group additionally measures the runtime layer:
+the same batch of specs through :class:`repro.runtime.SerialExecutor` vs
+:class:`repro.runtime.ParallelExecutor`, so the parallel speedup (and the
+process-pool overhead floor on small batches) is a *measured* number in
+``--benchmark-compare`` output, not an asserted one — while result
+equality with serial execution *is* asserted.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from repro.analysis.placement import assign_labels, dispersed_random, undisperse
 from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
 from repro.graphs import generators as gg
+from repro.runtime import ParallelExecutor, RunSpec, SerialExecutor, run_specs
 from repro.sim.robot import RobotSpec
 from repro.sim.world import World
 
@@ -54,6 +62,48 @@ def test_throughput_wait_heavy(benchmark):
     # the whole point of the fast-forwarder: tens of thousands of simulated
     # rounds, a few hundred executed
     assert result.metrics.rounds > 20 * result.metrics.rounds_executed
+
+
+def _sweep_batch():
+    """A regime-table-shaped batch: every (n, k-regime) pair, 12 runs."""
+    specs = []
+    for n in (8, 10, 12, 14):
+        for k in (2, n // 3 + 1, n // 2 + 1):
+            specs.append(
+                RunSpec(
+                    algorithm="faster",
+                    family="ring",
+                    graph={"n": n},
+                    placement="scatter",
+                    k=k,
+                    placement_args={"seed": 1},
+                    labels_args={"seed": n + k},
+                )
+            )
+    return specs
+
+
+@pytest.mark.benchmark(group="sweep-throughput")
+def test_sweep_throughput_serial(bench_once):
+    specs = _sweep_batch()
+    recs = bench_once(lambda: run_specs(specs, executor=SerialExecutor()))
+    assert len(recs) == len(specs)
+    assert all(r.gathered and r.detected for r in recs)
+
+
+@pytest.mark.benchmark(group="sweep-throughput")
+def test_sweep_throughput_parallel(bench_once):
+    """Same batch fanned over 4 workers; rows must equal the serial run's.
+
+    Compare against ``test_sweep_throughput_serial`` in the benchmark table:
+    the ratio of the two medians is the measured sweep speedup (dominated by
+    pool startup at this batch size; it grows with batch and instance size).
+    """
+    specs = _sweep_batch()
+    recs = bench_once(
+        lambda: run_specs(specs, executor=ParallelExecutor(workers=4, chunksize=1))
+    )
+    assert recs == run_specs(specs, executor=SerialExecutor())
 
 
 @pytest.mark.benchmark(group="throughput")

@@ -15,7 +15,7 @@ theorem-level claims' *shapes*).  Conventions:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence
 
 import pytest
 

@@ -18,7 +18,7 @@ prints the measured regrouping times.
 Run:  python examples/warehouse_recall.py
 """
 
-from repro import RobotSpec, World, bounds, faster_gathering_program, generators
+from repro import RobotSpec, World, faster_gathering_program, generators
 from repro.analysis import adversarial_scatter, assign_labels, min_pairwise_distance, render_table
 from repro.analysis.experiments import regime_for
 

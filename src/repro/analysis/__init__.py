@@ -18,8 +18,22 @@ from repro.analysis.placement import (
 from repro.analysis.experiments import GatheringRun, run_gathering, regime_for
 from repro.analysis.fitting import loglog_slope
 from repro.analysis.tables import render_table
-from repro.analysis import sweeps
-from repro.analysis.report import generate_report
+
+# The batch layers sit *above* repro.runtime in the dependency order
+# (experiments -> runtime -> sweeps/report), so importing them eagerly here
+# would create a cycle when the runtime pulls in GatheringRun.  PEP 562
+# lazy loading keeps `from repro.analysis import sweeps` and
+# `repro.analysis.generate_report` working unchanged.
+_LAZY = {"sweeps": "repro.analysis.sweeps", "generate_report": "repro.analysis.report"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        return module if name == "sweeps" else getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "undispersed_placement",

@@ -6,13 +6,21 @@ back to exploration sequences (refusing to report results on an uncovered
 instance — see DESIGN.md S1), runs to completion, validates the
 gathering-with-detection contract, and returns a flat record.
 
+Batch call sites (sweeps, reports, the CLI) do not call it directly any
+more: they describe runs as :class:`repro.runtime.RunSpec` values and go
+through :func:`repro.runtime.execute`, which dispatches to this function
+serially or across worker processes and caches the :class:`GatheringRun`
+records it returns.  ``GatheringRun`` therefore stays a plain, picklable,
+JSON-round-trippable dataclass (see :meth:`GatheringRun.to_dict` /
+:meth:`GatheringRun.from_dict`).
+
 :func:`regime_for` encodes Theorem 16's regime table: given ``k`` and ``n``
 it names the bound the paper promises.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.analysis.placement import min_pairwise_distance
@@ -57,6 +65,15 @@ class GatheringRun:
         }
         row.update(self.extra)
         return row
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full field dict (unlike :meth:`as_row`, loss-free): the form the
+        runtime's result cache serializes to JSON."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GatheringRun":
+        return cls(**data)
 
 
 def verify_uxs_for_graph(graph: PortGraph) -> None:

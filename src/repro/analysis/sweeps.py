@@ -6,28 +6,29 @@ users (and ``python -m repro report``) can regenerate the paper's results
 programmatically without pytest.
 
 Every sweep returns a list of plain dict rows (table-ready) and is
-deterministic for fixed arguments.
+deterministic for fixed arguments.  Simulation-running sweeps describe
+their runs as :class:`repro.runtime.RunSpec` batches and dispatch through
+:func:`repro.runtime.run_specs`; pass ``executor=ParallelExecutor(...)``
+to fan a sweep out over worker processes and/or ``cache=ResultCache(...)``
+to skip runs completed by an earlier invocation — the rows are identical
+either way, because each row is a pure function of its spec.
+``root_seed`` feeds the runtime's deterministic seed streams; the canned
+sweeps pin their placement/label seeds (reproducing the paper record), so
+it only enters cache identity here — it does not change any row.
+(:func:`lemma15_sweep` is placement arithmetic only — no simulations, so
+no executor.)
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.experiments import regime_for, run_gathering
+from repro.analysis.experiments import regime_for
 from repro.analysis.fitting import loglog_slope
-from repro.analysis.placement import (
-    adversarial_scatter,
-    assign_labels,
-    dispersed_with_pair_distance,
-    min_pairwise_distance,
-    undispersed_placement,
-)
-from repro.baselines import tz_rendezvous_program
+from repro.analysis.placement import adversarial_scatter, min_pairwise_distance
 from repro.core import bounds
-from repro.core.faster_gathering import faster_gathering_program
-from repro.core.undispersed import undispersed_gathering_program
-from repro.core.uxs_gathering import uxs_gathering_program
 from repro.graphs import generators as gg
+from repro.runtime import Executor, ResultCache, RunSpec, run_specs
 
 __all__ = [
     "undispersed_sweep",
@@ -39,77 +40,119 @@ __all__ = [
 ]
 
 
-def undispersed_sweep(ns: Sequence[int] = (8, 12, 16), k: int = 4) -> Dict[str, Any]:
+def undispersed_sweep(
+    ns: Sequence[int] = (8, 12, 16),
+    k: int = 4,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+) -> Dict[str, Any]:
     """Theorem 8 sweep (E1 shape): rounds vs n on rings, with slope."""
-    rows: List[Dict[str, Any]] = []
-    for n in ns:
-        g = gg.ring(n)
-        rec = run_gathering(
-            "undispersed", g,
-            undispersed_placement(g, k, seed=n),
-            assign_labels(k, n, seed=n),
-            lambda: undispersed_gathering_program(),
+    specs = [
+        RunSpec(
+            algorithm="undispersed",
+            family="ring",
+            graph={"n": n},
+            placement="undispersed",
+            k=k,
+            placement_args={"seed": n},
+            labels_args={"seed": n},
             uses_uxs=False,
         )
-        rows.append({"n": n, "rounds": rec.rounds, "detected": rec.detected,
-                     "max_moves": rec.max_moves})
+        for n in ns
+    ]
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    rows: List[Dict[str, Any]] = [
+        {"n": n, "rounds": rec.rounds, "detected": rec.detected, "max_moves": rec.max_moves}
+        for n, rec in zip(ns, recs)
+    ]
     slope = loglog_slope([r["n"] for r in rows], [r["rounds"] for r in rows])
     return {"rows": rows, "slope": slope, "claimed_exponent": 3.0}
 
 
-def regime_sweep(ns: Sequence[int] = (9, 12)) -> List[Dict[str, Any]]:
+def regime_sweep(
+    ns: Sequence[int] = (9, 12),
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+) -> List[Dict[str, Any]]:
     """Theorem 16's regime table (E5) as data."""
-    rows = []
+    cases = []
     for n in ns:
-        g = gg.ring(n)
         for regime, k in (("n3", n // 2 + 1), ("n4logn", n // 3 + 1), ("n5", 2)):
             assert regime_for(k, n) == regime
-            starts = adversarial_scatter(g, k, seed=1)
-            rec = run_gathering(
-                "faster", g, starts, assign_labels(k, n, seed=n + k),
-                lambda: faster_gathering_program(),
-            )
-            rows.append(
-                {
-                    "n": n,
-                    "regime": regime,
-                    "k": k,
-                    "scatter_dist": min_pairwise_distance(g, starts),
-                    "rounds": rec.rounds,
-                    "detected": rec.detected,
-                }
-            )
-    return rows
+            cases.append((n, regime, k))
+    specs = [
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": n},
+            placement="scatter",
+            k=k,
+            placement_args={"seed": 1},
+            labels_args={"seed": n + k},
+        )
+        for n, _regime, k in cases
+    ]
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    return [
+        {
+            "n": n,
+            "regime": regime,
+            "k": k,
+            "scatter_dist": rec.min_pair_distance,
+            "rounds": rec.rounds,
+            "detected": rec.detected,
+        }
+        for (n, regime, k), rec in zip(cases, recs)
+    ]
 
 
-def staged_distance_sweep(n: int = 12, distances: Sequence[int] = (0, 1, 2, 3)) -> List[Dict[str, Any]]:
+def staged_distance_sweep(
+    n: int = 12,
+    distances: Sequence[int] = (0, 1, 2, 3),
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+) -> List[Dict[str, Any]]:
     """Theorem 12's staged complexity (E4) as data."""
-    g = gg.ring(n)
     boundaries = bounds.faster_gathering_boundaries(n)
-    rows = []
+    specs = []
     for d in distances:
         if d == 0:
-            starts = undispersed_placement(g, 3, seed=7)
+            placement, k, placement_args = "undispersed", 3, {"seed": 7}
         else:
-            starts = dispersed_with_pair_distance(g, 2, d, seed=3)
-        rec = run_gathering(
-            "faster", g, starts, assign_labels(len(starts), n, seed=d + 1),
-            lambda: faster_gathering_program(),
+            placement, k, placement_args = "pair-distance", 2, {"seed": 3, "distance": d}
+        specs.append(
+            RunSpec(
+                algorithm="faster",
+                family="ring",
+                graph={"n": n},
+                placement=placement,
+                k=k,
+                placement_args=placement_args,
+                labels_args={"seed": d + 1},
+            )
         )
-        rows.append(
-            {
-                "pair_dist": d,
-                "gathered_at_step": rec.extra.get("gathered_at_step"),
-                "rounds": rec.rounds,
-                "boundary": boundaries[min(d, 5)],
-                "detected": rec.detected,
-            }
-        )
-    return rows
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    return [
+        {
+            "pair_dist": d,
+            "gathered_at_step": rec.extra.get("gathered_at_step"),
+            "rounds": rec.rounds,
+            "boundary": boundaries[min(d, 5)],
+            "detected": rec.detected,
+        }
+        for d, rec in zip(distances, recs)
+    ]
 
 
 def lemma15_sweep(c_values: Sequence[int] = (2, 3, 4), seeds: int = 4) -> List[Dict[str, Any]]:
-    """Lemma 15 adversary attack (E6) as data."""
+    """Lemma 15 adversary attack (E6) as data.
+
+    Pure placement arithmetic — no simulations run, so this sweep takes no
+    executor/cache (there is nothing to parallelize or memoize).
+    """
     rows = []
     families = [
         ("ring", gg.ring(24)),
@@ -137,47 +180,71 @@ def lemma15_sweep(c_values: Sequence[int] = (2, 3, 4), seeds: int = 4) -> List[D
     return rows
 
 
-def detection_tail_sweep(n: int = 9, k: int = 3) -> List[Dict[str, Any]]:
+def detection_tail_sweep(
+    n: int = 9,
+    k: int = 3,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+) -> List[Dict[str, Any]]:
     """E10a as data: what detection costs on top of first-gather."""
-    rows = []
-    g = gg.ring(n)
-    from repro.analysis.placement import dispersed_random
-
-    starts = dispersed_random(g, k, seed=n)
-    labels = assign_labels(k, n, seed=k)
-    for name, fn in (
-        ("uxs", lambda: uxs_gathering_program()),
-        ("faster", lambda: faster_gathering_program()),
-    ):
-        rec = run_gathering(name, g, starts, labels, fn)
-        rows.append(
-            {
-                "algorithm": name,
-                "first_gather": rec.first_gather_round,
-                "termination": rec.rounds,
-                "tail": rec.rounds - (rec.first_gather_round or 0),
-            }
+    algorithms = ("uxs", "faster")
+    specs = [
+        RunSpec(
+            algorithm=name,
+            family="ring",
+            graph={"n": n},
+            placement="dispersed",
+            k=k,
+            placement_args={"seed": n},
+            labels_args={"seed": k},
         )
-    return rows
+        for name in algorithms
+    ]
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    return [
+        {
+            "algorithm": name,
+            "first_gather": rec.first_gather_round,
+            "termination": rec.rounds,
+            "tail": rec.rounds - (rec.first_gather_round or 0),
+        }
+        for name, rec in zip(algorithms, recs)
+    ]
 
 
-def cost_sweep(ns: Sequence[int] = (9, 12), k_of=lambda n: n // 2 + 1) -> List[Dict[str, Any]]:
+def cost_sweep(
+    ns: Sequence[int] = (9, 12),
+    k_of: Callable[[int], int] = lambda n: n // 2 + 1,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+) -> List[Dict[str, Any]]:
     """The §1.4 *cost* metric (total edge traversals): Faster-Gathering vs
     the TZ baseline on identical many-robot configurations (E12)."""
-    rows = []
+    specs = []
     for n in ns:
-        g = gg.ring(n)
         k = k_of(n)
-        starts = adversarial_scatter(g, k, seed=2)
-        labels = assign_labels(k, n, seed=3)
-        fast = run_gathering("faster", g, starts, labels,
-                             lambda: faster_gathering_program())
-        base = run_gathering("tz", g, starts, labels,
-                             lambda: tz_rendezvous_program())
+        for algorithm in ("faster", "tz"):
+            specs.append(
+                RunSpec(
+                    algorithm=algorithm,
+                    family="ring",
+                    graph={"n": n},
+                    placement="scatter",
+                    k=k,
+                    placement_args={"seed": 2},
+                    labels_args={"seed": 3},
+                )
+            )
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    rows = []
+    for i, n in enumerate(ns):
+        fast, base = recs[2 * i], recs[2 * i + 1]
         rows.append(
             {
                 "n": n,
-                "k": k,
+                "k": k_of(n),
                 "faster_moves": fast.total_moves,
                 "tz_moves": base.total_moves,
                 "faster_rounds": fast.rounds,

@@ -10,56 +10,49 @@ Examples::
         --placement scatter --labels adversarial_long --trace
     python -m repro sweep --family ring --algorithm undispersed \\
         --ns 8 12 16 24 --k 4
+    python -m repro sweep --ns 8 12 16 --workers 4 --cache-dir .repro-cache
+    python -m repro report --workers 4 --cache-dir .repro-cache --out report.md
 
-The CLI is a thin shell over :mod:`repro.analysis`; anything it prints can
-be reproduced programmatically via :func:`repro.analysis.run_gathering`.
+The CLI is a thin shell over :mod:`repro.analysis` and :mod:`repro.runtime`:
+``run``, ``sweep`` and ``report`` describe their work as
+:class:`repro.runtime.RunSpec` batches and dispatch through
+:func:`repro.runtime.execute`.  ``--workers N`` fans the batch out over N
+worker processes (rows are identical to serial execution, just faster);
+``--cache-dir DIR`` memoizes completed runs on disk so repeated
+invocations execute zero simulations.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.analysis.experiments import regime_for, run_gathering
+from repro.analysis.experiments import regime_for
 from repro.analysis.fitting import loglog_slope
-from repro.analysis.placement import (
-    adversarial_scatter,
-    assign_labels,
-    dispersed_random,
-    dispersed_with_pair_distance,
-    undispersed_placement,
-)
+from repro.analysis.placement import LABEL_SCHEMES
 from repro.analysis.tables import render_table
-from repro.baselines import dessmark_program, random_walk_program, tz_rendezvous_program
 from repro.core import bounds
-from repro.core.faster_gathering import faster_gathering_program
-from repro.core.undispersed import undispersed_gathering_program
-from repro.core.uxs_gathering import uxs_gathering_program
 from repro.graphs import generators as gg
+from repro.runtime import (
+    ALGORITHM_BUILDERS,
+    NO_DETECTION,
+    NO_UXS,
+    Executor,
+    ParallelExecutor,
+    ResultCache,
+    RunSpec,
+    SerialExecutor,
+    execute,
+)
 
 __all__ = ["main"]
 
-ALGORITHMS: Dict[str, Callable[..., object]] = {
-    "faster": lambda args: faster_gathering_program(
-        max_degree=args.max_degree, hop_distance=args.hop_distance
-    ),
-    "undispersed": lambda args: undispersed_gathering_program(),
-    "uxs": lambda args: uxs_gathering_program(),
-    "tz": lambda args: tz_rendezvous_program(),
-    "dessmark": lambda args: dessmark_program(max_degree=args.max_degree),
-    "random_walk": lambda args: random_walk_program(seed=args.seed),
-}
 
-#: Algorithms whose schedules never enter a UXS phase (skip plan checks).
-NO_UXS = {"undispersed", "dessmark", "random_walk"}
-
-#: Algorithms without termination: measure first-gather instead.
-NO_DETECTION = {"tz", "random_walk"}
-
-
-def build_graph(args) -> object:
-    kwargs = {}
+def graph_params(args) -> Dict[str, Any]:
+    """Translate CLI arguments into keyword arguments for the graph family
+    (the declarative ``RunSpec.graph`` payload)."""
+    kwargs: Dict[str, Any] = {}
     fn = gg.FAMILIES[args.family]
     import inspect
 
@@ -77,23 +70,66 @@ def build_graph(args) -> object:
         kwargs["seed"] = args.seed
     if "numbering" in sig.parameters:
         kwargs["numbering"] = args.numbering
-    return fn(**kwargs)
+    return kwargs
 
 
-def build_placement(args, graph) -> List[int]:
-    if args.placement == "undispersed":
-        return undispersed_placement(graph, args.k, seed=args.seed)
-    if args.placement == "dispersed":
-        return dispersed_random(graph, args.k, seed=args.seed)
-    if args.placement == "scatter":
-        return adversarial_scatter(graph, args.k, seed=args.seed)
+def build_graph(args) -> object:
+    return gg.by_name(args.family, **graph_params(args))
+
+
+def spec_from_args(args) -> RunSpec:
+    """One declarative RunSpec for the configuration the flags describe."""
+    if args.placement == "pair-distance" and args.pair_distance is None:
+        raise SystemExit("--pair-distance is required for this placement")
+    placement_args: Dict[str, Any] = {"seed": args.seed}
     if args.placement == "pair-distance":
-        if args.pair_distance is None:
-            raise SystemExit("--pair-distance is required for this placement")
-        return dispersed_with_pair_distance(
-            graph, args.k, args.pair_distance, seed=args.seed
+        placement_args["distance"] = args.pair_distance
+    algorithm_args = {
+        key: value
+        for key, value in (
+            ("max_degree", args.max_degree),
+            ("hop_distance", args.hop_distance),
         )
-    raise SystemExit(f"unknown placement {args.placement}")
+        if value is not None
+    }
+    knowledge = dict(algorithm_args)
+    return RunSpec(
+        algorithm=args.algorithm,
+        family=args.family,
+        graph=graph_params(args),
+        placement=args.placement,
+        k=args.k,
+        placement_args=placement_args,
+        labels=args.labels,
+        labels_args={"seed": args.seed},
+        algorithm_args=algorithm_args,
+        knowledge=knowledge,
+        seed=args.seed,
+        uses_uxs=args.algorithm not in NO_UXS,
+        stop_on_gather=args.algorithm in NO_DETECTION,
+        max_rounds=args.max_rounds,
+    )
+
+
+def make_executor(args) -> Executor:
+    if args.workers is not None and args.workers > 1:
+        return ParallelExecutor(workers=args.workers)
+    return SerialExecutor()
+
+
+def make_cache(args) -> Optional[ResultCache]:
+    if not args.cache_dir:
+        return None
+    try:
+        return ResultCache(args.cache_dir)
+    except OSError as exc:
+        raise SystemExit(f"--cache-dir {args.cache_dir}: {exc}")
+
+
+def runtime_requested(args) -> bool:
+    """Whether to print the runtime accounting line (only when the user
+    opted into the runtime flags, so default output stays byte-stable)."""
+    return args.workers is not None or bool(args.cache_dir)
 
 
 def cmd_families(_args) -> int:
@@ -138,7 +174,12 @@ def cmd_plan(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
-    text = generate_report(quick=not args.full)
+    text = generate_report(
+        quick=not args.full,
+        executor=make_executor(args),
+        cache=make_cache(args),
+        root_seed=args.seed,
+    )
     if args.out:
         from pathlib import Path
 
@@ -162,54 +203,33 @@ def cmd_show(args) -> int:
 
 
 def cmd_run(args) -> int:
-    graph = build_graph(args)
-    starts = build_placement(args, graph)
-    labels = assign_labels(len(starts), graph.n, scheme=args.labels, seed=args.seed)
-    knowledge = {}
-    if args.max_degree is not None:
-        knowledge["max_degree"] = args.max_degree
-    if args.hop_distance is not None:
-        knowledge["hop_distance"] = args.hop_distance
-
-    factory = ALGORITHMS[args.algorithm](args)
-    rec = run_gathering(
-        args.algorithm,
-        graph,
-        starts,
-        labels,
-        lambda: factory,
-        knowledge=knowledge,
-        uses_uxs=args.algorithm not in NO_UXS,
-        stop_on_gather=args.algorithm in NO_DETECTION,
-        max_rounds=args.max_rounds,
-    )
+    spec = spec_from_args(args)
+    result = execute([spec], executor=make_executor(args), cache=make_cache(args))
+    rec = result.outcomes[0].run_or_raise()
     print(render_table([rec.as_row()], title=f"{args.algorithm} on {args.family}"))
-    if rec.k and graph.n:
-        print(f"\nTheorem-16 regime for k={rec.k}, n={graph.n}: {regime_for(rec.k, graph.n)}")
+    if rec.k and rec.n:
+        print(f"\nTheorem-16 regime for k={rec.k}, n={rec.n}: {regime_for(rec.k, rec.n)}")
     if args.algorithm in NO_DETECTION:
         print("(no detection: 'rounds' is when the harness stopped; see first_gather)")
+    if runtime_requested(args):
+        print(f"\n{result.stats.summary()}")
     return 0 if rec.gathered or args.algorithm in NO_DETECTION else 1
 
 
 def cmd_sweep(args) -> int:
-    rows = []
+    specs = []
     for n in args.ns:
         ns_args = argparse.Namespace(**vars(args))
         ns_args.n = n
-        graph = build_graph(ns_args)
-        starts = build_placement(ns_args, graph)
-        labels = assign_labels(len(starts), graph.n, scheme=args.labels, seed=args.seed)
-        factory = ALGORITHMS[args.algorithm](ns_args)
-        rec = run_gathering(
-            args.algorithm, graph, starts, labels, lambda: factory,
-            uses_uxs=args.algorithm not in NO_UXS,
-            stop_on_gather=args.algorithm in NO_DETECTION,
-        )
-        rows.append(rec.as_row())
+        specs.append(spec_from_args(ns_args))
+    result = execute(specs, executor=make_executor(args), cache=make_cache(args))
+    rows = [outcome.run_or_raise().as_row() for outcome in result.outcomes]
     print(render_table(rows, title=f"sweep: {args.algorithm} on {args.family}"))
     if len(args.ns) >= 2:
         slope = loglog_slope(args.ns, [r["rounds"] for r in rows])
         print(f"\nlog-log slope of rounds vs n: {slope:.2f}")
+    if runtime_requested(args):
+        print(f"\n{result.stats.summary()}")
     return 0
 
 
@@ -231,18 +251,24 @@ def make_parser() -> argparse.ArgumentParser:
     pp.add_argument("--n", type=int, required=True)
     pp.set_defaults(fn=cmd_plan)
 
+    def runtime_flags(sp):
+        sp.add_argument("--workers", type=int, default=None,
+                        help="fan runs out over N worker processes "
+                             "(default: serial in-process execution)")
+        sp.add_argument("--cache-dir", type=str, default=None,
+                        help="content-addressed result cache directory; "
+                             "completed runs are skipped on re-invocation")
+
     def common(sp):
         sp.add_argument("--family", choices=sorted(gg.FAMILIES), default="ring")
         sp.add_argument("--n", type=int, default=12)
         sp.add_argument("--k", type=int, default=4)
-        sp.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="faster")
+        sp.add_argument("--algorithm", choices=sorted(ALGORITHM_BUILDERS), default="faster")
         sp.add_argument("--placement",
                         choices=["undispersed", "dispersed", "scatter", "pair-distance"],
                         default="dispersed")
         sp.add_argument("--pair-distance", type=int, default=None)
-        sp.add_argument("--labels",
-                        choices=["random", "compact", "adversarial_long"],
-                        default="random")
+        sp.add_argument("--labels", choices=list(LABEL_SCHEMES), default="random")
         sp.add_argument("--seed", type=int, default=0)
         sp.add_argument("--numbering",
                         choices=["canonical", "random", "reversed", "rotated"],
@@ -255,10 +281,15 @@ def make_parser() -> argparse.ArgumentParser:
         sp.add_argument("--hop-distance", type=int, default=None,
                         help="grant distance knowledge (Remark 13)")
         sp.add_argument("--max-rounds", type=int, default=None)
+        runtime_flags(sp)
 
     prep = sub.add_parser("report", help="regenerate the reproduction report (Markdown)")
     prep.add_argument("--out", type=str, default=None, help="write to file instead of stdout")
     prep.add_argument("--full", action="store_true", help="wider sweeps (slower)")
+    prep.add_argument("--seed", type=int, default=None,
+                      help="root seed for runtime seed streams (the canned "
+                           "sweeps pin their own seeds, so rows are unaffected)")
+    runtime_flags(prep)
     prep.set_defaults(fn=cmd_report)
 
     psh = sub.add_parser("show", help="print a graph's port-labeled adjacency")
@@ -272,7 +303,8 @@ def make_parser() -> argparse.ArgumentParser:
 
     ps = sub.add_parser("sweep", help="sweep n and fit the growth slope")
     common(ps)
-    ps.add_argument("--ns", type=int, nargs="+", required=True)
+    ps.add_argument("--ns", type=int, nargs="+", default=[8, 12, 16],
+                    help="instance sizes to sweep (default: 8 12 16)")
     ps.set_defaults(fn=cmd_sweep)
 
     return p

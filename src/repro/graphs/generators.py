@@ -178,8 +178,7 @@ def barbell(n: int, numbering: str = "canonical", seed: int = 0) -> PortGraph:
     """Two cliques joined by a path (three roughly equal parts)."""
     if n < 6:
         raise ValueError("barbell needs n >= 6")
-    a = n // 3
-    b = n - 2 * a  # path length between the cliques, >= a
+    a = n // 3  # clique size; the connecting path has n - 2a >= a nodes
     pairs = [(i, j) for i in range(a) for j in range(i + 1, a)]
     hi = n - a
     pairs += [(i, j) for i in range(hi, n) for j in range(i + 1, n)]

@@ -1,0 +1,67 @@
+"""repro.runtime — parallel sweep execution engine.
+
+The layer between "one simulation" (:func:`repro.analysis.experiments.
+run_gathering`) and "the paper's experiment suite" (sweeps, benchmarks,
+reports):
+
+* :class:`RunSpec` — picklable, declarative description of one run;
+* :class:`SerialExecutor` / :class:`ParallelExecutor` — interchangeable
+  execution strategies (in-process vs. chunked process-pool fan-out) with
+  per-run failure isolation and deterministic seed streams;
+* :class:`ResultCache` — content-addressed on-disk cache keyed by the
+  spec's canonical hash, so repeated sweeps skip completed work;
+* :func:`execute` / :func:`run_specs` — the batch API gluing it together.
+
+Serial execution is the default everywhere, keeping results bit-identical
+to single-process runs; parallel execution returns the exact same outcome
+list, just faster.  See docs/RUNTIME.md for the full tour.
+"""
+
+from repro.runtime.api import ExecutionResult, ExecutionStats, execute, run_specs
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import (
+    Executor,
+    ParallelExecutor,
+    ProgressCallback,
+    SerialExecutor,
+    assign_seeds,
+    derive_seed,
+)
+from repro.runtime.spec import (
+    ALGORITHM_BUILDERS,
+    NO_DETECTION,
+    NO_UXS,
+    PLACEMENT_BUILDERS,
+    RunFailure,
+    RunOutcome,
+    RunSpec,
+    execute_spec,
+    materialize,
+    register_algorithm,
+    unregister_algorithm,
+)
+
+__all__ = [
+    "RunSpec",
+    "RunOutcome",
+    "RunFailure",
+    "execute_spec",
+    "materialize",
+    "register_algorithm",
+    "unregister_algorithm",
+    "ALGORITHM_BUILDERS",
+    "PLACEMENT_BUILDERS",
+    "NO_UXS",
+    "NO_DETECTION",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ProgressCallback",
+    "derive_seed",
+    "assign_seeds",
+    "ResultCache",
+    "ExecutionStats",
+    "ExecutionResult",
+    "execute",
+    "run_specs",
+]

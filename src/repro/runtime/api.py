@@ -1,0 +1,140 @@
+"""High-level entry points tying specs, executors, and the cache together.
+
+:func:`execute` is the one call sites use::
+
+    from repro.runtime import RunSpec, ParallelExecutor, ResultCache, execute
+
+    specs = [RunSpec("faster", "ring", {"n": n}, placement="scatter", k=4)
+             for n in (8, 12, 16)]
+    result = execute(specs, executor=ParallelExecutor(workers=4),
+                     cache=ResultCache(".repro-cache"), root_seed=0)
+    for rec in result.records():
+        print(rec.n, rec.rounds)
+
+Cache hits short-circuit before dispatch, so a fully cached batch executes
+zero simulations; the returned :class:`ExecutionStats` says exactly how
+many ran, hit, and failed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.analysis.experiments import GatheringRun
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import (
+    Executor,
+    ProgressCallback,
+    SerialExecutor,
+    assign_seeds,
+)
+from repro.runtime.spec import RunOutcome, RunSpec
+
+__all__ = ["ExecutionStats", "ExecutionResult", "execute", "run_specs"]
+
+
+@dataclass
+class ExecutionStats:
+    """Accounting for one :func:`execute` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    elapsed: float = 0.0
+
+    def summary(self) -> str:
+        """One stable line for CLI output (deliberately no timing, so runs
+        with different worker counts print byte-identical summaries)."""
+        return (
+            f"runtime: {self.total} runs — {self.executed} executed, "
+            f"{self.cache_hits} cached, {self.failures} failed"
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """Outcomes in submission order, plus the batch accounting."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def records(self) -> List[GatheringRun]:
+        """All runs, raising :class:`repro.runtime.RunFailure` on the first
+        errored outcome (the historical behavior of serial call sites)."""
+        return [o.run_or_raise() for o in self.outcomes]
+
+
+def execute(
+    specs: Iterable[RunSpec],
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ExecutionResult:
+    """Run a batch of specs through an executor, consulting the cache.
+
+    ``root_seed`` fills unset spec seeds deterministically *before* cache
+    lookup and dispatch, so seed assignment is independent of executor
+    choice and cache state.  ``progress`` fires only for runs that actually
+    execute (cache hits are instantaneous).
+    """
+    t0 = time.perf_counter()
+    specs = list(specs)
+    if root_seed is not None:
+        specs = assign_seeds(specs, root_seed)
+    executor = executor if executor is not None else SerialExecutor()
+
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    pending: List[RunSpec] = []
+    pending_idx: List[int] = []
+    hits = 0
+    if cache is not None:
+        for i, spec in enumerate(specs):
+            run = cache.get(spec)
+            if run is not None:
+                outcomes[i] = RunOutcome(spec=spec, run=run, cached=True)
+                hits += 1
+            else:
+                pending.append(spec)
+                pending_idx.append(i)
+    else:
+        pending = specs
+        pending_idx = list(range(len(specs)))
+
+    # Write-through: persist each successful run the moment it lands, so an
+    # interrupted batch (Ctrl-C, CI timeout) keeps everything it completed.
+    def land(outcome: RunOutcome, done: int, total: int) -> None:
+        if cache is not None and outcome.ok:
+            cache.put(outcome.spec, outcome.run)
+        if progress is not None:
+            progress(outcome, done, total)
+
+    executed = executor.run(pending, progress=land) if pending else []
+    for i, outcome in zip(pending_idx, executed):
+        outcomes[i] = outcome
+
+    final = [o for o in outcomes if o is not None]
+    stats = ExecutionStats(
+        total=len(specs),
+        executed=len(executed),
+        cache_hits=hits,
+        failures=sum(1 for o in final if not o.ok),
+        elapsed=time.perf_counter() - t0,
+    )
+    return ExecutionResult(outcomes=final, stats=stats)
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[GatheringRun]:
+    """:func:`execute`, unwrapped to records (raises on any failure)."""
+    return execute(
+        specs, executor=executor, cache=cache, root_seed=root_seed, progress=progress
+    ).records()

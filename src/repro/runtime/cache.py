@@ -1,0 +1,90 @@
+"""Content-addressed on-disk result cache.
+
+A completed run is stored under ``sha256(spec.canonical_json())`` — the
+spec *is* the cache key, so any change to the graph, placement, labels,
+algorithm options, seed, limits, or the spec schema version yields a new
+key and a miss.  Values are single JSON files (two-level fan-out directory
+layout, atomic ``os.replace`` writes), so a cache directory is safe to
+share between concurrent processes, rsync around, or inspect by hand.
+
+Repeated sweeps and report regenerations hit the cache and skip the
+simulation entirely; :class:`ResultCache` counts hits/misses so callers
+can report "0 simulations executed" honestly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from hashlib import sha256
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.experiments import GatheringRun
+from repro.runtime.spec import RunSpec
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Directory-backed map ``RunSpec -> GatheringRun``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(spec: RunSpec) -> str:
+        return sha256(spec.canonical_json().encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[GatheringRun]:
+        """The cached record for ``spec``, or ``None`` (counted as a miss).
+
+        A corrupt or truncated entry (killed writer, disk trouble) is
+        treated as a miss rather than an error — the run simply re-executes
+        and overwrites it.
+        """
+        path = self._path(self.key_for(spec))
+        try:
+            payload = json.loads(path.read_text())
+            run = GatheringRun.from_dict(payload["record"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def put(self, spec: RunSpec, run: GatheringRun) -> None:
+        key = self.key_for(spec)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "spec": json.loads(spec.canonical_json()),
+            "record": run.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)  # atomic on POSIX: readers never see a torn file
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self._path(self.key_for(spec)).exists()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

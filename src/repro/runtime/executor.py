@@ -1,0 +1,199 @@
+"""Executors: how a batch of :class:`RunSpec` turns into outcomes.
+
+Two interchangeable strategies behind one tiny interface:
+
+* :class:`SerialExecutor` — in-process, in-order.  The default everywhere,
+  so results stay bit-identical to historical single-process runs.
+* :class:`ParallelExecutor` — fans chunks of specs out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Chunked dispatch amortizes
+  pickling/IPC for the many-small-runs workloads sweeps produce; failures
+  are isolated per run (see :func:`repro.runtime.spec.execute_spec`), and
+  when a worker process dies outright (OOM-kill, segfault) the affected
+  chunks are retried spec-by-spec in fresh pools, so only the spec that
+  actually kills its worker is reported as failed.
+
+Determinism: a simulation's result is a pure function of its spec, so the
+two executors return *identical* outcome lists in submission order, for any
+worker count.  Per-run seed streams are derived from a root seed with
+:func:`derive_seed` (SHA-256 counter mode) — stable across platforms,
+Python versions, and executor choice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import replace
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.runtime.spec import RunOutcome, RunSpec, execute_spec
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ProgressCallback",
+    "derive_seed",
+    "assign_seeds",
+]
+
+#: ``progress(outcome, done_so_far, total)`` — called as outcomes land (in
+#: completion order for parallel executors, submission order for serial).
+ProgressCallback = Callable[[RunOutcome, int, int], None]
+
+
+def derive_seed(root_seed: int, index: int, salt: str = "") -> int:
+    """Deterministic per-run seed ``index`` of the stream rooted at
+    ``root_seed`` — a SHA-256 counter, so streams with different roots (or
+    salts) are statistically independent and platform-stable."""
+    digest = hashlib.sha256(f"{root_seed}:{index}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def assign_seeds(specs: Sequence[RunSpec], root_seed: int) -> List[RunSpec]:
+    """Fill every unset ``spec.seed`` from the root seed's stream.
+
+    Specs that pin their own seed are left untouched; assignment is by
+    position, so the same batch + root always yields the same seeds no
+    matter which executor later runs it.
+    """
+    return [
+        replace(s, seed=derive_seed(root_seed, i)) if s.seed is None else s
+        for i, s in enumerate(specs)
+    ]
+
+
+class Executor(ABC):
+    """Strategy interface: run specs, return outcomes in submission order."""
+
+    @abstractmethod
+    def run(
+        self, specs: Iterable[RunSpec], progress: Optional[ProgressCallback] = None
+    ) -> List[RunOutcome]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process execution, one spec at a time, in order."""
+
+    def run(
+        self, specs: Iterable[RunSpec], progress: Optional[ProgressCallback] = None
+    ) -> List[RunOutcome]:
+        specs = list(specs)
+        outcomes: List[RunOutcome] = []
+        for i, spec in enumerate(specs):
+            outcome = execute_spec(spec)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome, i + 1, len(specs))
+        return outcomes
+
+
+def _execute_chunk(specs: List[RunSpec]) -> List[RunOutcome]:
+    """Worker-side entry point: run one chunk, never raise."""
+    return [execute_spec(s) for s in specs]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with chunked dispatch.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunksize:
+        Specs per task.  Defaults to ``ceil(len(specs) / (4 * workers))``
+        — about four waves per worker, balancing IPC overhead against
+        load-balancing for uneven run times.
+    mp_context:
+        Optional multiprocessing start method (``"fork"``, ``"spawn"``, …);
+        ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ):
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.chunksize = chunksize
+        self.mp_context = mp_context
+
+    def run(
+        self, specs: Iterable[RunSpec], progress: Optional[ProgressCallback] = None
+    ) -> List[RunOutcome]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers == 1 or len(specs) == 1:
+            return SerialExecutor().run(specs, progress=progress)
+
+        chunksize = self.chunksize or max(1, math.ceil(len(specs) / (4 * self.workers)))
+        chunks = [specs[i : i + chunksize] for i in range(0, len(specs), chunksize)]
+        ctx = multiprocessing.get_context(self.mp_context) if self.mp_context else None
+
+        results: List[Optional[RunOutcome]] = [None] * len(specs)
+        done = 0
+
+        def land(start: int, outcomes: List[RunOutcome]) -> None:
+            nonlocal done
+            for offset, outcome in enumerate(outcomes):
+                results[start + offset] = outcome
+                done += 1
+                if progress is not None:
+                    progress(outcome, done, len(specs))
+
+        # A worker that dies mid-task (OOM-kill, segfault, os._exit) breaks
+        # the whole ProcessPoolExecutor: every unfinished future raises
+        # BrokenProcessPool, including chunks that never ran.  Those chunks
+        # are collected here and retried one spec at a time in fresh
+        # single-use pools, so only the spec that actually kills its worker
+        # is reported as failed.
+        retry: List[int] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)), mp_context=ctx
+        ) as pool:
+            futures = {
+                pool.submit(_execute_chunk, chunk): start
+                for chunk, start in zip(chunks, range(0, len(specs), chunksize))
+            }
+            for future in as_completed(futures):
+                start = futures[future]
+                try:
+                    outcomes = future.result()
+                except Exception:
+                    retry.append(start)
+                    continue
+                # outside the try: a raising progress/cache callback must
+                # propagate, not masquerade as a dead worker
+                land(start, outcomes)
+
+        for start in sorted(retry):
+            for i, spec in enumerate(specs[start : start + chunksize]):
+                land(start + i, [self._run_isolated(spec, ctx)])
+
+        if any(r is None for r in results):  # lost future / short chunk: a bug
+            raise RuntimeError(
+                "ParallelExecutor dropped outcomes for "
+                f"{sum(r is None for r in results)} of {len(specs)} specs"
+            )
+        return [r for r in results if r is not None]
+
+    @staticmethod
+    def _run_isolated(spec: RunSpec, ctx) -> RunOutcome:
+        """Run one spec in a throwaway single-worker pool, so a spec that
+        crashes its worker yields an errored outcome for itself only."""
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            try:
+                return pool.submit(execute_spec, spec).result()
+            except Exception as exc:
+                return RunOutcome(
+                    spec=spec, error=str(exc) or repr(exc), error_type=type(exc).__name__
+                )

@@ -1,0 +1,284 @@
+"""Declarative run specifications — the unit of work of the runtime layer.
+
+A :class:`RunSpec` is a *picklable, fully declarative* description of one
+gathering simulation: graph family + parameters, placement scheme,
+label scheme, algorithm + options, knowledge grants, seed, and limits.
+Because a spec carries names and plain data instead of live objects
+(graphs, program factories, closures), it can
+
+* cross a process boundary untouched (parallel execution),
+* be hashed canonically (content-addressed result caching), and
+* be rebuilt bit-identically anywhere (``materialize`` + ``execute_spec``).
+
+The registries below map scheme/algorithm names to the concrete builders in
+:mod:`repro.analysis.placement` and :mod:`repro.core`; the CLI shares them,
+so everything expressible on the command line is expressible as a spec.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, asdict
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.analysis.experiments import GatheringRun, run_gathering
+from repro.analysis.placement import (
+    adversarial_scatter,
+    assign_labels,
+    dispersed_random,
+    dispersed_with_pair_distance,
+    undispersed_placement,
+)
+from repro.baselines import dessmark_program, random_walk_program, tz_rendezvous_program
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs.generators import by_name
+from repro.graphs.port_graph import PortGraph
+
+__all__ = [
+    "RunSpec",
+    "RunOutcome",
+    "RunFailure",
+    "execute_spec",
+    "materialize",
+    "register_algorithm",
+    "unregister_algorithm",
+    "ALGORITHM_BUILDERS",
+    "PLACEMENT_BUILDERS",
+    "NO_UXS",
+    "NO_DETECTION",
+    "SPEC_SCHEMA",
+]
+
+#: Bumped whenever the spec→result contract changes; participates in cache
+#: keys so stale cache entries are never replayed against new semantics.
+SPEC_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Registries (shared with the CLI)
+# ---------------------------------------------------------------------------
+
+#: ``algorithm name -> builder(options dict) -> program factory``.
+ALGORITHM_BUILDERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "faster": lambda opts: faster_gathering_program(
+        max_degree=opts.get("max_degree"), hop_distance=opts.get("hop_distance")
+    ),
+    "undispersed": lambda opts: undispersed_gathering_program(),
+    "uxs": lambda opts: uxs_gathering_program(),
+    "tz": lambda opts: tz_rendezvous_program(),
+    "dessmark": lambda opts: dessmark_program(max_degree=opts.get("max_degree")),
+    "random_walk": lambda opts: random_walk_program(seed=opts.get("seed", 0)),
+}
+
+#: Algorithms whose schedules never enter a UXS phase (skip plan checks).
+NO_UXS = {"undispersed", "dessmark", "random_walk"}
+
+#: Algorithms without termination detection: measure first-gather instead.
+NO_DETECTION = {"tz", "random_walk"}
+
+
+def register_algorithm(
+    name: str,
+    builder: Callable[[Dict[str, Any]], Any],
+    *,
+    uses_uxs: bool = True,
+    detects: bool = True,
+) -> None:
+    """Register a custom algorithm so specs (and the CLI) can name it.
+
+    ``builder(options)`` must return a program factory.  Registration is
+    per-process; parallel executors inherit it through ``fork`` on POSIX.
+    """
+    ALGORITHM_BUILDERS[name] = builder
+    if not uses_uxs:
+        NO_UXS.add(name)
+    if not detects:
+        NO_DETECTION.add(name)
+
+
+def unregister_algorithm(name: str) -> None:
+    ALGORITHM_BUILDERS.pop(name, None)
+    NO_UXS.discard(name)
+    NO_DETECTION.discard(name)
+
+
+def _place_undispersed(graph: PortGraph, k: int, seed: int, opts: Dict[str, Any]) -> List[int]:
+    return undispersed_placement(graph, k, seed=seed)
+
+
+def _place_dispersed(graph: PortGraph, k: int, seed: int, opts: Dict[str, Any]) -> List[int]:
+    return dispersed_random(graph, k, seed=seed)
+
+
+def _place_scatter(graph: PortGraph, k: int, seed: int, opts: Dict[str, Any]) -> List[int]:
+    return adversarial_scatter(graph, k, seed=seed)
+
+
+def _place_pair_distance(graph: PortGraph, k: int, seed: int, opts: Dict[str, Any]) -> List[int]:
+    if "distance" not in opts:
+        raise ValueError("placement 'pair-distance' needs placement_args['distance']")
+    return dispersed_with_pair_distance(graph, k, opts["distance"], seed=seed)
+
+
+#: ``placement name -> builder(graph, k, seed, options) -> starts``.
+PLACEMENT_BUILDERS: Dict[str, Callable[[PortGraph, int, int, Dict[str, Any]], List[int]]] = {
+    "undispersed": _place_undispersed,
+    "dispersed": _place_dispersed,
+    "scatter": _place_scatter,
+    "pair-distance": _place_pair_distance,
+}
+
+
+# ---------------------------------------------------------------------------
+# The spec itself
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Picklable description of one gathering simulation.
+
+    Seeds resolve in two steps: a scheme's ``*_args["seed"]`` wins when
+    present; otherwise the spec-level :attr:`seed` applies (``0`` when that
+    is also unset).  Leaving :attr:`seed` as ``None`` lets the runtime
+    derive it from a root seed (see ``assign_seeds``) without clobbering
+    pinned per-scheme seeds.
+    """
+
+    algorithm: str
+    family: str
+    graph: Dict[str, Any] = field(default_factory=dict)
+    placement: str = "dispersed"
+    k: int = 2
+    placement_args: Dict[str, Any] = field(default_factory=dict)
+    labels: str = "random"
+    labels_args: Dict[str, Any] = field(default_factory=dict)
+    algorithm_args: Dict[str, Any] = field(default_factory=dict)
+    knowledge: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    uses_uxs: bool = True
+    stop_on_gather: bool = False
+    max_rounds: Optional[int] = None
+    strict: bool = True
+
+    def canonical_json(self) -> str:
+        """Stable serialization — the identity the cache hashes.
+
+        Raises ``TypeError`` for specs holding non-JSON values (functions,
+        objects): silently stringifying them would embed memory addresses
+        and quietly break cache-key identity across processes.
+        """
+        payload = {"schema": SPEC_SCHEMA, "spec": asdict(self)}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def resolved_seed(self, args: Dict[str, Any]) -> int:
+        seed = args.get("seed", self.seed)
+        return 0 if seed is None else seed
+
+
+@dataclass
+class RunOutcome:
+    """What came back from one spec: a record, or an isolated failure."""
+
+    spec: RunSpec
+    run: Optional[GatheringRun] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    elapsed: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None and self.error is None
+
+    def run_or_raise(self) -> GatheringRun:
+        if self.run is None:
+            raise RunFailure(self)
+        return self.run
+
+
+class RunFailure(RuntimeError):
+    """A spec failed inside the runtime (the batch itself survived)."""
+
+    def __init__(self, outcome: RunOutcome):
+        super().__init__(
+            f"{outcome.error_type or 'error'} while running "
+            f"{outcome.spec.algorithm} on {outcome.spec.family}: {outcome.error}"
+        )
+        self.outcome = outcome
+
+
+# ---------------------------------------------------------------------------
+# Materialization and execution
+# ---------------------------------------------------------------------------
+
+
+def materialize(spec: RunSpec):
+    """Rebuild the live objects a spec describes.
+
+    Returns ``(graph, starts, labels, factory_for)`` ready for
+    :func:`repro.analysis.experiments.run_gathering`.
+    """
+    if spec.algorithm not in ALGORITHM_BUILDERS:
+        raise ValueError(
+            f"unknown algorithm {spec.algorithm!r}; known: {sorted(ALGORITHM_BUILDERS)}"
+        )
+    if spec.placement not in PLACEMENT_BUILDERS:
+        raise ValueError(
+            f"unknown placement {spec.placement!r}; known: {sorted(PLACEMENT_BUILDERS)}"
+        )
+    graph = by_name(spec.family, **dict(spec.graph))
+    starts = PLACEMENT_BUILDERS[spec.placement](
+        graph, spec.k, spec.resolved_seed(spec.placement_args), dict(spec.placement_args)
+    )
+    labels = assign_labels(
+        len(starts),
+        graph.n,
+        scheme=spec.labels,
+        seed=spec.resolved_seed(spec.labels_args),
+        **{k: v for k, v in spec.labels_args.items() if k not in ("seed",)},
+    )
+    opts = dict(spec.algorithm_args)
+    opts.setdefault("seed", spec.resolved_seed(spec.algorithm_args))
+    builder = ALGORITHM_BUILDERS[spec.algorithm]
+
+    def factory_for():
+        return builder(opts)
+
+    return graph, starts, labels, factory_for
+
+
+def execute_spec(spec: RunSpec) -> RunOutcome:
+    """Run one spec to completion, isolating any failure in the outcome.
+
+    This is the (module-level, hence picklable) function parallel workers
+    execute.  It never raises: a :class:`ProtocolViolation`, a UXS
+    certification failure, or a bad spec becomes an errored outcome so one
+    poisoned run cannot kill a batch.
+    """
+    start = time.perf_counter()
+    try:
+        graph, starts, labels, factory_for = materialize(spec)
+        rec = run_gathering(
+            spec.algorithm,
+            graph,
+            starts,
+            labels,
+            factory_for,
+            knowledge=dict(spec.knowledge),
+            uses_uxs=spec.uses_uxs,
+            stop_on_gather=spec.stop_on_gather,
+            max_rounds=spec.max_rounds,
+            strict=spec.strict,
+        )
+        return RunOutcome(spec=spec, run=rec, elapsed=time.perf_counter() - start)
+    except Exception as exc:
+        return RunOutcome(
+            spec=spec,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            elapsed=time.perf_counter() - start,
+        )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.experiments import GatheringRun, regime_for, run_gathering, verify_uxs_for_graph
+from repro.analysis.experiments import regime_for, run_gathering, verify_uxs_for_graph
 from repro.analysis.fitting import loglog_slope, slope_within
 from repro.analysis.tables import format_value, render_table
 from repro.core.faster_gathering import faster_gathering_program

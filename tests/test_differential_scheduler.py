@@ -118,7 +118,6 @@ def optimized_run(graph, starts, scripts):
 
     # record positions after each executed round (fast-forwarded rounds keep
     # previous positions)
-    last = None
     while not sched.all_terminated():
         sched._step()
         history[sched.round - 1] = tuple(

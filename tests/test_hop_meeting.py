@@ -5,7 +5,7 @@ import pytest
 from repro.core import bounds
 from repro.core.hop_meeting import hop_meeting_program
 from repro.graphs import generators as gg
-from repro.analysis.placement import dispersed_with_pair_distance, min_pairwise_distance
+from repro.analysis.placement import dispersed_with_pair_distance
 from tests.conftest import run_world
 
 

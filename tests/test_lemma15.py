@@ -70,7 +70,7 @@ def test_random_placements_even_closer():
 
     g = gg.grid(5, 5)
     c = 2
-    k = 25 // 2 + 1
+    k = 25 // c + 1
     adv = max(
         min_pairwise_distance(g, adversarial_scatter(g, k, seed=s)) for s in range(5)
     )

@@ -11,7 +11,6 @@ sets, and assert the library-wide invariants:
 * gathering-with-detection never misdetects on random configurations.
 """
 
-import math
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -1,0 +1,357 @@
+"""Tests for repro.runtime: specs, executors, seed streams, cache, isolation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    ParallelExecutor,
+    ResultCache,
+    RunFailure,
+    RunSpec,
+    SerialExecutor,
+    assign_seeds,
+    derive_seed,
+    execute,
+    execute_spec,
+    register_algorithm,
+    run_specs,
+    unregister_algorithm,
+)
+from repro.sim.actions import Action
+
+
+def small_batch():
+    """A mixed, fast batch: three sizes, two algorithms, one baseline."""
+    specs = [
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": n},
+            placement="scatter",
+            k=n // 2 + 1,
+            placement_args={"seed": 1},
+            labels_args={"seed": n},
+        )
+        for n in (8, 9, 10)
+    ]
+    specs.append(
+        RunSpec(
+            algorithm="undispersed",
+            family="erdos_renyi",
+            graph={"n": 9, "seed": 3},
+            placement="undispersed",
+            k=3,
+            placement_args={"seed": 5},
+            labels_args={"seed": 5},
+            uses_uxs=False,
+        )
+    )
+    return specs
+
+
+class TestSpec:
+    def test_canonical_json_is_stable_and_orders_keys(self):
+        spec = small_batch()[0]
+        assert spec.canonical_json() == spec.canonical_json()
+        payload = json.loads(spec.canonical_json())
+        assert payload["spec"]["algorithm"] == "faster"
+        assert "schema" in payload
+
+    def test_distinct_specs_have_distinct_keys(self):
+        a, b = small_batch()[:2]
+        assert ResultCache.key_for(a) != ResultCache.key_for(b)
+        # and a seed change alone re-keys
+        from dataclasses import replace
+
+        assert ResultCache.key_for(a) != ResultCache.key_for(replace(a, seed=7))
+
+    def test_canonical_json_rejects_unserializable_values(self):
+        """Silently stringifying a function would embed a memory address and
+        quietly break cache-key identity across processes."""
+        spec = RunSpec(algorithm="faster", family="ring", graph={"n": 8},
+                       placement_args={"seed": lambda: 1})
+        with pytest.raises(TypeError):
+            spec.canonical_json()
+
+    def test_execute_spec_unknown_algorithm_is_isolated(self):
+        outcome = execute_spec(RunSpec(algorithm="bogus", family="ring", graph={"n": 8}))
+        assert not outcome.ok
+        assert outcome.error_type == "ValueError"
+        with pytest.raises(RunFailure, match="bogus"):
+            outcome.run_or_raise()
+
+
+class TestSeedStreams:
+    def test_derive_seed_deterministic_and_spread(self):
+        a = derive_seed(0, 0)
+        assert a == derive_seed(0, 0)
+        stream = {derive_seed(0, i) for i in range(100)}
+        assert len(stream) == 100
+        assert derive_seed(1, 0) not in stream
+
+    def test_assign_seeds_fills_only_unset(self):
+        specs = [
+            RunSpec(algorithm="faster", family="ring", graph={"n": 8}),
+            RunSpec(algorithm="faster", family="ring", graph={"n": 8}, seed=42),
+        ]
+        seeded = assign_seeds(specs, root_seed=0)
+        assert seeded[0].seed == derive_seed(0, 0)
+        assert seeded[1].seed == 42
+        assert specs[0].seed is None  # originals untouched
+
+    def test_root_seed_same_results_any_executor(self):
+        specs = [
+            RunSpec(algorithm="faster", family="ring", graph={"n": 8},
+                    placement="dispersed", k=3)
+            for _ in range(4)
+        ]
+        serial = run_specs(specs, root_seed=0)
+        parallel = run_specs(specs, executor=ParallelExecutor(workers=2), root_seed=0)
+        assert serial == parallel
+        assert run_specs(specs, root_seed=1) != serial  # the root actually matters
+
+
+class TestExecutors:
+    def test_parallel_matches_serial(self):
+        specs = small_batch()
+        serial = run_specs(specs, executor=SerialExecutor())
+        parallel = run_specs(specs, executor=ParallelExecutor(workers=3, chunksize=1))
+        assert serial == parallel
+
+    def test_default_executor_is_serial(self):
+        specs = small_batch()[:1]
+        assert run_specs(specs) == run_specs(specs, executor=SerialExecutor())
+
+    def test_progress_callback_fires_per_run(self):
+        seen = []
+        specs = small_batch()[:2]
+        run_specs(specs, progress=lambda o, done, total: seen.append((done, total, o.ok)))
+        assert seen == [(1, 2, True), (2, 2, True)]
+
+    def test_parallel_progress_counts_all(self):
+        seen = []
+        run_specs(
+            small_batch(),
+            executor=ParallelExecutor(workers=2, chunksize=2),
+            progress=lambda o, done, total: seen.append(done),
+        )
+        assert sorted(seen) == [1, 2, 3, 4]
+
+    def test_empty_batch(self):
+        assert run_specs([], executor=ParallelExecutor(workers=2)) == []
+
+    def test_raising_progress_propagates_under_parallel(self):
+        """A failing caller callback (e.g. cache disk-full) must surface,
+        not be mistaken for a dead worker and trigger re-simulation."""
+
+        def boom(outcome, done, total):
+            raise OSError("disk full")
+
+        with pytest.raises(OSError, match="disk full"):
+            run_specs(small_batch(), executor=ParallelExecutor(workers=2, chunksize=1),
+                      progress=boom)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+
+@pytest.fixture
+def violator():
+    """A registered program that breaks the action protocol on purpose."""
+
+    def violating_program(opts):
+        def factory(ctx):
+            def program():
+                _obs = yield
+                yield Action.move(9999)  # out-of-range port -> ProtocolViolation
+
+            return program()
+
+        return factory
+
+    register_algorithm("test-violator", violating_program, uses_uxs=False)
+    yield "test-violator"
+    unregister_algorithm("test-violator")
+
+
+class TestFailureIsolation:
+    def bad_spec(self, name):
+        return RunSpec(algorithm=name, family="ring", graph={"n": 8},
+                       placement="dispersed", k=2, uses_uxs=False)
+
+    def test_violation_does_not_kill_serial_batch(self, violator):
+        specs = [small_batch()[0], self.bad_spec(violator), small_batch()[1]]
+        result = execute(specs)
+        assert [o.ok for o in result.outcomes] == [True, False, True]
+        assert result.outcomes[1].error_type == "ProtocolViolation"
+        assert result.stats.failures == 1
+        with pytest.raises(RunFailure):
+            result.records()
+
+    def test_violation_does_not_kill_parallel_batch(self, violator):
+        specs = [small_batch()[0], self.bad_spec(violator), small_batch()[1]]
+        result = execute(specs, executor=ParallelExecutor(workers=2, chunksize=1))
+        assert [o.ok for o in result.outcomes] == [True, False, True]
+        assert result.outcomes[1].error_type == "ProtocolViolation"
+
+    def test_dead_worker_process_poisons_only_its_own_spec(self):
+        """An OOM-killed/segfaulted worker breaks the whole pool; healthy
+        specs must be retried in fresh pools, not reported as failed."""
+        import os
+
+        def killer_program(opts):
+            def factory(ctx):
+                def program():
+                    _obs = yield
+                    os._exit(13)  # simulate the kernel killing the worker
+
+                return program()
+
+            return factory
+
+        register_algorithm("test-worker-killer", killer_program, uses_uxs=False)
+        try:
+            specs = [small_batch()[0], self.bad_spec("test-worker-killer"),
+                     small_batch()[1], small_batch()[2]]
+            result = execute(specs, executor=ParallelExecutor(workers=2, chunksize=1))
+            assert [o.ok for o in result.outcomes] == [True, False, True, True]
+            assert "BrokenProcessPool" in (result.outcomes[1].error_type or "")
+            # and the healthy records are the real ones, not error stubs
+            serial = execute([specs[0], specs[2], specs[3]])
+            assert [result.outcomes[i].run for i in (0, 2, 3)] == serial.records()
+        finally:
+            unregister_algorithm("test-worker-killer")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = small_batch()
+        first = execute(specs, cache=cache)
+        assert first.stats.executed == len(specs)
+        assert first.stats.cache_hits == 0
+        assert len(cache) == len(specs)
+
+        second = execute(specs, cache=cache)
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == len(specs)
+        assert all(o.cached for o in second.outcomes)
+        assert first.records() == second.records()
+
+    def test_cache_is_spec_sensitive(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_batch()[0]
+        execute([spec], cache=cache)
+        from dataclasses import replace
+
+        changed = replace(spec, placement_args={"seed": 2})
+        result = execute([changed], cache=cache)
+        assert result.stats.executed == 1  # different spec, no false hit
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_batch()[0]
+        execute([spec], cache=cache)
+        path = cache._path(cache.key_for(spec))
+        path.write_text("{ not json")
+        rerun = execute([spec], cache=cache)
+        assert rerun.stats.executed == 1
+        # and the entry healed
+        assert execute([spec], cache=cache).stats.cache_hits == 1
+
+    def test_failures_are_not_cached(self, tmp_path, violator):
+        cache = ResultCache(tmp_path)
+        bad = RunSpec(algorithm=violator, family="ring", graph={"n": 8},
+                      placement="dispersed", k=2, uses_uxs=False)
+        assert execute([bad], cache=cache).stats.failures == 1
+        assert len(cache) == 0
+        assert execute([bad], cache=cache).stats.executed == 1  # retried, not replayed
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute(small_batch()[:2], cache=cache)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_interrupted_batch_keeps_completed_results(self, tmp_path):
+        """Write-through: results land in the cache as they complete, so an
+        interrupt mid-batch does not discard finished simulations."""
+        cache = ResultCache(tmp_path)
+        specs = small_batch()[:3]
+
+        def interrupt_after_two(outcome, done, total):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            execute(specs, cache=cache, progress=interrupt_after_two)
+        assert len(cache) == 2
+        resumed = execute(specs, cache=cache)
+        assert resumed.stats.cache_hits == 2
+        assert resumed.stats.executed == 1
+
+
+class TestSweepIntegration:
+    def test_sweeps_identical_serial_vs_parallel(self):
+        from repro.analysis import sweeps
+
+        serial = sweeps.regime_sweep(ns=(9,))
+        parallel = sweeps.regime_sweep(ns=(9,), executor=ParallelExecutor(workers=2))
+        assert serial == parallel
+
+    def test_report_identical_with_cache_and_workers(self, tmp_path):
+        from repro.analysis.report import generate_report
+
+        cache = ResultCache(tmp_path)
+        cold = generate_report(quick=True, cache=cache)
+        warm = generate_report(
+            quick=True, executor=ParallelExecutor(workers=2), cache=cache
+        )
+        assert cold == warm
+        assert cache.hits > 0
+
+    def test_report_root_seed_changes_no_rows(self):
+        """Canned sweeps pin their seeds: root_seed is cache identity only."""
+        from repro.analysis.report import generate_report
+
+        assert generate_report(quick=True) == generate_report(quick=True, root_seed=0)
+
+
+class TestCliRuntimeFlags:
+    def test_sweep_workers_identical_rows(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--ns", "8", "10", "--k", "3", "--seed", "0"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["sweep", "--ns", "8", "10", "--k", "3", "--seed", "0",
+                     "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert baseline in parallel  # same table + slope, plus the runtime line
+        assert "2 executed, 0 cached" in parallel
+
+    def test_sweep_second_invocation_fully_cached(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["sweep", "--ns", "8", "10", "--k", "3", "--seed", "0",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 cached" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 cached" in second
+        assert first == second.replace("0 executed, 2 cached", "2 executed, 0 cached")
+
+    def test_run_with_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["run", "--family", "ring", "--n", "10", "--k", "6",
+                "--placement", "scatter", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "1 executed, 0 cached" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "0 executed, 1 cached" in capsys.readouterr().out

@@ -14,7 +14,6 @@ from repro.sim.errors import ProtocolViolation, SimulationDeadlock, SimulationTi
 from repro.sim.robot import RobotSpec
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import TraceRecorder
-from repro.sim.world import World
 
 
 def path2():

@@ -1,7 +1,5 @@
 """Tests for the canned sweeps and the Markdown report generator."""
 
-import pytest
-
 from repro.analysis import sweeps
 from repro.analysis.report import generate_report
 

@@ -8,7 +8,6 @@ budget from :func:`repro.core.bounds.phase1_rounds`.
 import pytest
 
 from repro.core import bounds
-from repro.core.undispersed import undispersed_gathering_program
 from repro.graphs import generators as gg
 from repro.graphs.isomorphism import is_isomorphic
 from repro.mapping.partial_map import RobotMap

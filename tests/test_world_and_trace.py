@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.undispersed import undispersed_gathering_program
 from repro.graphs import generators as gg
-from repro.graphs.port_graph import Edge, PortGraph
+from repro.graphs.port_graph import PortGraph
 from repro.sim.actions import Action
 from repro.sim.metrics import RunMetrics
 from repro.sim.robot import RobotSpec
