@@ -12,18 +12,28 @@ the same batch of specs through :class:`repro.runtime.SerialExecutor` vs
 process-pool overhead floor on small batches) is a *measured* number in
 ``--benchmark-compare`` output, not an asserted one — while result
 equality with serial execution *is* asserted.
+
+The ``simcore-kernel`` group runs the flat-array kernel workloads of
+``bench_simcore.py`` (rotor walks on ring / torus / random-regular) under
+pytest-benchmark, pinning the fast scheduler's wall-clock *and* asserting
+it matches the seed :class:`~repro.sim.reference.ReferenceScheduler`
+bit-for-bit on positions and metrics.  The full profiled grid with JSON
+output is the standalone ``bench_simcore.py`` (see ``docs/PERF.md``).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from bench_simcore import TOPOLOGIES, kernel_specs
 from repro.analysis.placement import assign_labels, dispersed_random, undispersed_placement
 from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
 from repro.graphs import generators as gg
 from repro.runtime import ParallelExecutor, RunSpec, SerialExecutor, run_specs
+from repro.sim.reference import ReferenceScheduler
 from repro.sim.robot import RobotSpec
+from repro.sim.scheduler import Scheduler
 from repro.sim.world import World
 
 
@@ -104,6 +114,30 @@ def test_sweep_throughput_parallel(bench_once):
         lambda: run_specs(specs, executor=ParallelExecutor(workers=4, chunksize=1))
     )
     assert recs == run_specs(specs, executor=SerialExecutor())
+
+
+@pytest.mark.benchmark(group="simcore-kernel")
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_kernel_fast_path(benchmark, topology):
+    """Flat-array kernel workload (n=64): wall-clock regression anchor.
+
+    Also asserts the fast path's end state equals the seed scheduler's on
+    the same workload — the benchmark can never drift from the semantics.
+    """
+    graph = TOPOLOGIES[topology](64)
+    rounds = 120
+
+    def run():
+        s = Scheduler(graph, kernel_specs(graph, k=4, rounds=rounds))
+        s.run(max_rounds=rounds + 10)
+        return s
+
+    fast = benchmark(run)
+    ref = ReferenceScheduler(graph, kernel_specs(graph, k=4, rounds=rounds))
+    ref.run(max_rounds=rounds + 10)
+    assert fast.positions() == ref.positions()
+    assert fast.metrics.as_dict() == ref.metrics.as_dict()
+    assert fast.metrics.total_moves == 4 * rounds
 
 
 @pytest.mark.benchmark(group="throughput")

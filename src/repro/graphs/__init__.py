@@ -19,6 +19,7 @@ the *port* through which it arrived.  This subpackage provides:
 """
 
 from repro.graphs.port_graph import PortGraph, Edge
+from repro.graphs.csr import CSRPortGraph
 from repro.graphs import generators
 from repro.graphs import port_numbering
 from repro.graphs import traversal
@@ -27,6 +28,7 @@ from repro.graphs import isomorphism
 __all__ = [
     "PortGraph",
     "Edge",
+    "CSRPortGraph",
     "generators",
     "port_numbering",
     "traversal",

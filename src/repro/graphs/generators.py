@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Tuple
 
+from repro.graphs.csr import is_connected_csr
 from repro.graphs.port_graph import PortGraph
 from repro.graphs.port_numbering import assign_ports
 
@@ -348,7 +349,9 @@ def random_regular(
         if not ok:
             continue
         g = _build(n, sorted(pairs), numbering, seed)
-        if g.is_connected():
+        # connectivity over the compiled flat-array form; the CSR is cached
+        # on the graph, so the accepted sample's kernel is already built
+        if is_connected_csr(g.csr):
             return g
     raise RuntimeError(f"could not sample a connected {d}-regular graph on {n} nodes")
 

@@ -22,7 +22,10 @@ well-formed port numbering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graphs.csr import CSRPortGraph
 
 __all__ = ["Edge", "PortGraph", "PortGraphError"]
 
@@ -77,7 +80,7 @@ class PortGraph:
       demands it.
     """
 
-    __slots__ = ("_n", "_edges", "_adj", "_degrees", "_hash")
+    __slots__ = ("_n", "_edges", "_adj", "_degrees", "_hash", "_csr")
 
     def __init__(self, n: int, edges: Iterable[Edge | Tuple[int, int, int, int]]):
         if n <= 0:
@@ -127,6 +130,7 @@ class PortGraph:
         )
         self._degrees = tuple(degrees)
         self._hash = None
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -183,6 +187,24 @@ class PortGraph:
     def ports(self, v: int) -> range:
         return range(self._degrees[v])
 
+    @property
+    def csr(self) -> "CSRPortGraph":
+        """The compiled flat-array (CSR) form, built lazily and cached.
+
+        Hot loops (the scheduler, BFS utilities) bind its ``row_offsets`` /
+        ``neighbor`` / ``entry_port`` / ``degree`` lists locally and index
+        them directly instead of going through :meth:`traverse` /
+        :meth:`degree`.  The compiled form is shared and must never be
+        mutated.
+        """
+        c = self._csr
+        if c is None:
+            from repro.graphs.csr import CSRPortGraph
+
+            c = CSRPortGraph(self._adj)
+            self._csr = c
+        return c
+
     def port_to(self, v: int, u: int) -> int:
         """The (smallest) port at ``v`` leading to ``u``.
 
@@ -198,20 +220,9 @@ class PortGraph:
     # Structural predicates
     # ------------------------------------------------------------------
     def is_connected(self) -> bool:
-        if self._n == 1:
-            return True
-        seen = [False] * self._n
-        stack = [0]
-        seen[0] = True
-        count = 1
-        while stack:
-            v = stack.pop()
-            for (u, _q) in self._adj[v]:
-                if not seen[u]:
-                    seen[u] = True
-                    count += 1
-                    stack.append(u)
-        return count == self._n
+        from repro.graphs.csr import is_connected_csr
+
+        return is_connected_csr(self.csr)
 
     # ------------------------------------------------------------------
     # Interop & dunder protocol

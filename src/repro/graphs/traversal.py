@@ -10,13 +10,18 @@ need:
   walks a spanning tree of its *map* in exactly ``2(n-1)`` moves;
 * port-walk execution and shortest port routes, used to convert map paths
   into port sequences a robot can follow.
+
+All walks run over the graph's compiled flat-array form
+(:attr:`~repro.graphs.port_graph.PortGraph.csr`): the four CSR lists are
+bound locally and indexed directly, so the inner loops touch no tuples of
+tuples and make no method calls (see ``docs/PERF.md``).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Iterable, List, Tuple
 
+from repro.graphs.csr import bfs_distances_csr
 from repro.graphs.port_graph import PortGraph, PortGraphError
 
 __all__ = [
@@ -43,16 +48,7 @@ def require_connected(graph: PortGraph) -> None:
 
 def bfs_distances(graph: PortGraph, source: int) -> List[int]:
     """Hop distance from ``source`` to every node (``-1`` if unreachable)."""
-    dist = [-1] * graph.n
-    dist[source] = 0
-    q = deque([source])
-    while q:
-        v = q.popleft()
-        for u in graph.neighbors(v):
-            if dist[u] < 0:
-                dist[u] = dist[v] + 1
-                q.append(u)
-    return dist
+    return bfs_distances_csr(graph.csr, source)
 
 
 def bfs_layers(graph: PortGraph, source: int) -> List[List[int]]:
@@ -73,7 +69,8 @@ def distance(graph: PortGraph, u: int, v: int) -> int:
 
 def pairwise_distances(graph: PortGraph) -> List[List[int]]:
     """All-pairs hop distances (BFS from every node; fine at repo scale)."""
-    return [bfs_distances(graph, v) for v in graph.nodes()]
+    csr = graph.csr
+    return [bfs_distances_csr(csr, v) for v in graph.nodes()]
 
 
 def eccentricity(graph: PortGraph, v: int) -> int:
@@ -81,7 +78,8 @@ def eccentricity(graph: PortGraph, v: int) -> int:
 
 
 def diameter(graph: PortGraph) -> int:
-    return max(eccentricity(graph, v) for v in graph.nodes())
+    csr = graph.csr
+    return max(max(bfs_distances_csr(csr, v)) for v in graph.nodes())
 
 
 def ball(graph: PortGraph, center: int, radius: int) -> List[int]:
@@ -99,18 +97,24 @@ def spanning_tree_ports(
     ``port_out`` order.  ``port_out`` is the port at ``v`` leading to
     ``child``; ``port_back`` the reverse port.
     """
+    csr = graph.csr
+    row, nbr, ent = csr.row_offsets, csr.neighbor, csr.entry_port
     tree: Dict[int, List[Tuple[int, int, int]]] = {v: [] for v in graph.nodes()}
-    seen = [False] * graph.n
-    seen[root] = True
-    q = deque([root])
-    while q:
-        v = q.popleft()
-        for p in graph.ports(v):
-            u, back = graph.traverse(v, p)
-            if not seen[u]:
-                seen[u] = True
-                tree[v].append((u, p, back))
-                q.append(u)
+    seen = bytearray(graph.n)
+    seen[root] = 1
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            base = row[v]
+            children = tree[v]
+            for i in range(base, row[v + 1]):
+                u = nbr[i]
+                if not seen[u]:
+                    seen[u] = 1
+                    children.append((u, i - base, ent[i]))
+                    nxt.append(u)
+        frontier = nxt
     return tree
 
 
@@ -150,10 +154,16 @@ def walk(graph: PortGraph, start: int, ports: Iterable[int]) -> List[int]:
     Raises :class:`PortGraphError` on an invalid port (walks produced by the
     library are always valid; this guards hand-written test walks).
     """
+    csr = graph.csr
+    row, nbr, deg = csr.row_offsets, csr.neighbor, csr.degree
     v = start
     visited = [v]
     for p in ports:
-        v, _back = graph.traverse(v, p)
+        if not 0 <= p < deg[v]:
+            raise PortGraphError(
+                f"node {v} has degree {deg[v]}; port {p} is invalid"
+            )
+        v = nbr[row[v] + p]
         visited.append(v)
     return visited
 
@@ -166,28 +176,38 @@ def shortest_port_route(graph: PortGraph, source: int, target: int) -> List[int]
     """
     if source == target:
         return []
-    prev: Dict[int, Tuple[int, int]] = {}  # node -> (parent, port at parent)
-    seen = [False] * graph.n
-    seen[source] = True
-    q = deque([source])
-    while q:
-        v = q.popleft()
-        for p in graph.ports(v):
-            u = graph.neighbor(v, p)
-            if not seen[u]:
-                seen[u] = True
-                prev[u] = (v, p)
-                if u == target:
-                    q.clear()
-                    break
-                q.append(u)
-    if target not in prev:
+    csr = graph.csr
+    row, nbr = csr.row_offsets, csr.neighbor
+    n = graph.n
+    prev_node = [-1] * n  # parent in the BFS tree
+    prev_port = [0] * n  # port at the parent leading here
+    seen = bytearray(n)
+    seen[source] = 1
+    frontier = [source]
+    found = False
+    while frontier and not found:
+        nxt = []
+        for v in frontier:
+            base = row[v]
+            for i in range(base, row[v + 1]):
+                u = nbr[i]
+                if not seen[u]:
+                    seen[u] = 1
+                    prev_node[u] = v
+                    prev_port[u] = i - base
+                    if u == target:
+                        found = True
+                        break
+                    nxt.append(u)
+            if found:
+                break
+        frontier = nxt
+    if not found:
         raise PortGraphError(f"{target} unreachable from {source}")
     route: List[int] = []
     v = target
     while v != source:
-        parent, port = prev[v]
-        route.append(port)
-        v = parent
+        route.append(prev_port[v])
+        v = prev_node[v]
     route.reverse()
     return route

@@ -90,30 +90,43 @@ class RobotMap:
         """
         if source == target:
             return []
-        prev: Dict[int, Tuple[int, int]] = {}
-        seen = {source}
-        q = deque([source])
-        while q:
-            v = q.popleft()
-            for p, entry in enumerate(self.adj[v]):
-                if entry is None:
-                    continue
-                u, _back = entry
-                if u not in seen:
-                    seen.add(u)
-                    prev[u] = (v, p)
-                    if u == target:
-                        q.clear()
-                        break
-                    q.append(u)
-        if target not in prev:
+        # Flat-array BFS (level-synchronized, same visit order as a FIFO
+        # queue): the map changes between calls, so there is no cached CSR
+        # to reuse, but scratch arrays indexed by map-node id still beat
+        # dict/set bookkeeping on every frontier resolution.
+        adj = self.adj
+        nn = len(adj)
+        prev_node = [-1] * nn
+        prev_port = [0] * nn
+        seen = bytearray(nn)
+        seen[source] = 1
+        frontier = [source]
+        found = False
+        while frontier and not found:
+            nxt = []
+            for v in frontier:
+                for p, entry in enumerate(adj[v]):
+                    if entry is None:
+                        continue
+                    u = entry[0]
+                    if not seen[u]:
+                        seen[u] = 1
+                        prev_node[u] = v
+                        prev_port[u] = p
+                        if u == target:
+                            found = True
+                            break
+                        nxt.append(u)
+                if found:
+                    break
+            frontier = nxt
+        if not found:
             raise ValueError(f"map node {target} unreachable from {source}")
         ports: List[int] = []
         v = target
         while v != source:
-            parent, port = prev[v]
-            ports.append(port)
-            v = parent
+            ports.append(prev_port[v])
+            v = prev_node[v]
         ports.reverse()
         return ports
 
@@ -125,19 +138,27 @@ class RobotMap:
         is the visited map-node sequence (length ``2(n'-1)+1``, starting and
         ending at ``root``).
         """
-        # BFS spanning tree over resolved edges.
+        # BFS spanning tree over resolved edges (flat seen-array, same
+        # level-synchronized discovery order as a FIFO queue).
+        adj = self.adj
         children: Dict[int, List[Tuple[int, int, int]]] = {root: []}
-        q = deque([root])
-        while q:
-            v = q.popleft()
-            for p, entry in enumerate(self.adj[v]):
-                if entry is None:
-                    continue
-                u, back = entry
-                if u not in children:
-                    children[u] = []
-                    children[v].append((u, p, back))
-                    q.append(u)
+        seen = bytearray(len(adj))
+        seen[root] = 1
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                kids = children[v]
+                for p, entry in enumerate(adj[v]):
+                    if entry is None:
+                        continue
+                    u, back = entry
+                    if not seen[u]:
+                        seen[u] = 1
+                        children[u] = []
+                        kids.append((u, p, back))
+                        nxt.append(u)
+            frontier = nxt
 
         ports: List[int] = []
         nodes: List[int] = [root]

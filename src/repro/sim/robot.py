@@ -83,6 +83,7 @@ class RobotState:
         "label",
         "ctx",
         "gen",
+        "send",
         "node",
         "entry_port",
         "card",
@@ -103,6 +104,9 @@ class RobotState:
         self.label = spec.label
         self.ctx = RobotContext(label=spec.label, n=n, knowledge=dict(spec.knowledge))
         self.gen = spec.factory(self.ctx)
+        # bound once: the scheduler activates programs every round, and the
+        # pre-bound method skips a per-activation attribute lookup
+        self.send = self.gen.send
         self.node = spec.start
         self.entry_port: Optional[int] = None
         self.card: Dict[str, Any] = {"id": spec.label}

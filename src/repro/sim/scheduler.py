@@ -24,13 +24,36 @@ Executes the Face-to-Face model round by round:
    (transitively, the paper's Lemma 4).
 
 The scheduler never exposes node identities to programs.
+
+Implementation notes (the *fast path*; semantics are pinned bit-for-bit
+against :class:`repro.sim.reference.ReferenceScheduler` by
+``tests/test_fastpath_differential.py``, and the invariants are documented
+in ``docs/PERF.md``):
+
+* graph reads go through the compiled CSR form
+  (:attr:`~repro.graphs.port_graph.PortGraph.csr`) — flat-list indexing, no
+  method calls, no tuple-of-tuples chasing;
+* node occupancy is maintained *incrementally*: per-node label-sorted
+  occupant lists updated only for the two endpoints of each move, instead
+  of rebuilding an occupants dict from all robots every round;
+* per-node card tuples are cached and invalidated only when an occupant
+  moves in/out or publishes a new card;
+* follow resolution is an iterative propagation from this round's movers
+  over a persistent reverse leader→followers index (no recursion, no
+  per-round closure), and termination cascades run as a single pass over
+  the same index;
+* tracing is hoisted: with ``trace=None`` the move-application loop carries
+  zero per-event checks;
+* arrival tracking for ``wake_on_meet`` is skipped entirely while no such
+  sleeper exists.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Tuple
 
-from repro.graphs.port_graph import PortGraph
+from repro.graphs.port_graph import PortGraph, PortGraphError
 from repro.sim import robot as rb
 from repro.sim.actions import (
     Action,
@@ -44,7 +67,7 @@ from repro.sim.actions import (
 )
 from repro.sim.errors import ProtocolViolation, SimulationDeadlock, SimulationTimeout
 from repro.sim.metrics import RunMetrics, card_bits
-from repro.sim.robot import RobotSpec, RobotState
+from repro.sim.robot import ACTIVE, FOLLOWING, SLEEPING, TERMINATED, RobotSpec, RobotState
 from repro.sim.trace import TraceRecorder
 
 __all__ = ["Scheduler"]
@@ -82,6 +105,29 @@ class Scheduler:
         self.by_label: Dict[int, RobotState] = {r.label: r for r in self.robots}
         self.round = 0
         self.metrics = RunMetrics()
+
+        # --- fast-path state (invariants in docs/PERF.md) -------------
+        self._csr = graph.csr
+        # occupants per node, kept sorted by label (self.robots is
+        # label-sorted, so the initial append order is already sorted)
+        occ: List[List[RobotState]] = [[] for _ in range(graph.n)]
+        for r in self.robots:
+            occ[r.node].append(r)
+        self._occ = occ
+        self._occupied = sum(1 for lst in occ if lst)  # nodes holding >= 1 robot
+        # cached card tuple per node; None = dirty (rebuilt on demand)
+        self._cards: List[Optional[Tuple[dict, ...]]] = [None] * graph.n
+        # reverse index: leader label -> persistent followers (label-sorted
+        # is not required; cascade/propagation order is label-sorted where
+        # it matters)
+        self._followers_of: Dict[int, List[RobotState]] = {}
+        # robots currently SLEEPING with wake_on_meet; while zero, the move
+        # loop skips arrival tracking entirely
+        self._meet_sleepers = 0
+        self._alive = len(self.robots)
+        # robots not currently ACTIVE; while zero, _wake_due skips its scan
+        self._dormant = 0
+
         self._prime()
 
     # ------------------------------------------------------------------
@@ -103,7 +149,7 @@ class Scheduler:
         return {r.label: r.node for r in self.robots}
 
     def all_terminated(self) -> bool:
-        return all(r.status == rb.TERMINATED for r in self.robots)
+        return self._alive == 0
 
     def all_gathered(self) -> bool:
         nodes = {r.node for r in self.robots}
@@ -145,36 +191,48 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _wake_due(self) -> List[RobotState]:
         """Apply due wake-ups; return the robots active this round."""
+        if self._dormant == 0:
+            # every robot is ACTIVE: nothing to wake, nothing to filter.
+            # Callers only iterate the returned list, never mutate it.
+            return self.robots
         active = []
+        trace = self.trace
+        rnd = self.round
         for r in self.robots:
-            if r.status == rb.SLEEPING:
-                due = r.wake_round is not None and self.round >= r.wake_round
+            status = r.status
+            if status == ACTIVE:
+                active.append(r)
+            elif status == SLEEPING:
+                due = r.wake_round is not None and rnd >= r.wake_round
                 if due or r.woken_early:
-                    r.status = rb.ACTIVE
+                    if r.wake_on_meet:
+                        self._meet_sleepers -= 1
+                    self._dormant -= 1
+                    r.status = ACTIVE
                     r.woken_early = False
                     r.wake_round = None
                     r.wake_on_meet = False
-                    if self.trace is not None:
-                        self.trace.record(self.round, "wake", r.label, "due" if due else "meet")
-            elif r.status == rb.FOLLOWING:
-                if r.wake_round is not None and self.round >= r.wake_round:
-                    r.status = rb.ACTIVE
-                    r.leader_label = None
-                    r.wake_round = None
-                if r.woken_early:
-                    # set when the leader terminated with on_leader_terminate="wake"
-                    r.status = rb.ACTIVE
+                    if trace is not None:
+                        trace.record(rnd, "wake", r.label, "due" if due else "meet")
+                    active.append(r)
+            elif status == FOLLOWING:
+                due = r.wake_round is not None and rnd >= r.wake_round
+                if due or r.woken_early:
+                    # woken_early is set when the leader terminated with
+                    # on_leader_terminate="wake"
+                    self._unfollow(r)
+                    self._dormant -= 1
+                    r.status = ACTIVE
                     r.leader_label = None
                     r.woken_early = False
                     r.wake_round = None
-            if r.status == rb.ACTIVE:
-                active.append(r)
+                    active.append(r)
         return active
 
     def _next_wake_round(self) -> Optional[int]:
         best: Optional[int] = None
         for r in self.robots:
-            if r.status in (rb.SLEEPING, rb.FOLLOWING) and r.wake_round is not None:
+            if r.status in (SLEEPING, FOLLOWING) and r.wake_round is not None:
                 if best is None or r.wake_round < best:
                     best = r.wake_round
         return best
@@ -196,72 +254,97 @@ class Scheduler:
             self.round = max(self.round + 1, nxt)
             return
 
-        # --- observation & compute -----------------------------------
-        occupants: Dict[int, List[RobotState]] = {}
-        for r in self.robots:
-            occupants.setdefault(r.node, []).append(r)
-        cards_at: Dict[int, Tuple[dict, ...]] = {
-            node: tuple(x.card for x in sorted(occ, key=lambda s: s.label))
-            for node, occ in occupants.items()
-        }
+        trace = self.trace
+        rnd = self.round
+        csr = self._csr
+        row = csr.row_offsets
+        nbr_arr = csr.neighbor
+        ent_arr = csr.entry_port
+        deg_arr = csr.degree
+        occ_lists = self._occ
+        cards_cache = self._cards
 
-        movers: List[Tuple[RobotState, int]] = []  # (robot, port)
+        # --- observation & compute -----------------------------------
+        # Cards are "as of the start of the round".  A node's card tuple is
+        # built lazily at its *first* active occupant's observation — which
+        # runs before any program on that node has acted, and only
+        # co-located programs can publish to a node, so the lazy build
+        # always sees pre-round cards.  Card publications therefore defer
+        # their cache invalidation to after the compute loop.
+        # movers as two parallel lists: iterating them with zip() reuses
+        # the yielded pair tuple, where a list of (robot, port) tuples
+        # would allocate one per mover per round
+        movers_r: List[RobotState] = []
+        movers_p: List[int] = []
         followers_once: List[RobotState] = []
         terminators: List[RobotState] = []
+        published: List[int] = []  # nodes with a card published this round
 
         for r in active:  # already in label order
-            obs = Observation(
-                self.round,
-                self.graph.degree(r.node),
-                r.entry_port,
-                cards_at[r.node],
-            )
+            node = r.node
+            cards = cards_cache[node]
+            if cards is None:
+                occ = occ_lists[node]
+                # occupant lists are label-sorted; no re-sort needed
+                cards = (occ[0].card,) if len(occ) == 1 else tuple(x.card for x in occ)
+                cards_cache[node] = cards
             r.active_rounds += 1
             try:
-                action = r.gen.send(obs)
+                action = r.send(Observation(rnd, deg_arr[node], r.entry_port, cards))
             except StopIteration:
                 raise ProtocolViolation(
                     f"robot {r.label}: program returned without terminating"
                 ) from None
             if action is None:
                 raise ProtocolViolation(f"robot {r.label}: yielded None instead of an Action")
-            self._apply_card(r, action)
-            if action.note and self.trace is not None:
-                self.trace.record(self.round, "note", r.label, action.note)
+            if action.card is not None:
+                self._apply_card(r, action)
+                published.append(r.node)
+            if action.note and trace is not None:
+                trace.record(rnd, "note", r.label, action.note)
 
             kind = action.kind
-            if kind == STAY:
-                pass
-            elif kind == MOVE:
-                if not (0 <= (action.port or 0) < self.graph.degree(r.node)) or action.port is None:
+            if kind == MOVE:  # tested first: the hot kind by far
+                port = action.port
+                # reject None before the range check; `port or 0` would
+                # treat port 0 and None alike
+                if port is None or not 0 <= port < deg_arr[r.node]:
                     raise ProtocolViolation(
-                        f"robot {r.label}: invalid port {action.port} on a degree-"
-                        f"{self.graph.degree(r.node)} node"
+                        f"robot {r.label}: invalid port {port} on a degree-"
+                        f"{deg_arr[r.node]} node"
                     )
-                movers.append((r, action.port))
+                movers_r.append(r)
+                movers_p.append(port)
+            elif kind == STAY:
+                pass
             elif kind == SLEEP:
-                if action.wake_round is not None and action.wake_round <= self.round:
+                if action.wake_round is not None and action.wake_round <= rnd:
                     raise ProtocolViolation(
                         f"robot {r.label}: sleep until round {action.wake_round} "
-                        f"is not in the future (now {self.round})"
+                        f"is not in the future (now {rnd})"
                     )
                 if action.wake_round is None and not action.wake_on_meet:
                     raise ProtocolViolation(
                         f"robot {r.label}: unwakeable forever-sleep"
                     )
-                r.status = rb.SLEEPING
+                r.status = SLEEPING
                 r.wake_round = action.wake_round
                 r.wake_on_meet = action.wake_on_meet
-                if self.trace is not None:
-                    self.trace.record(self.round, "sleep", r.label, action.wake_round)
+                self._dormant += 1
+                if action.wake_on_meet:
+                    self._meet_sleepers += 1
+                if trace is not None:
+                    trace.record(rnd, "sleep", r.label, action.wake_round)
             elif kind == FOLLOW:
                 self._check_follow_target(r, action.target)
-                r.status = rb.FOLLOWING
+                r.status = FOLLOWING
                 r.leader_label = action.target
                 r.wake_round = action.wake_round
                 r.on_leader_terminate = action.on_leader_terminate
-                if self.trace is not None:
-                    self.trace.record(self.round, "follow", r.label, action.target)
+                self._dormant += 1
+                self._followers_of.setdefault(action.target, []).append(r)
+                if trace is not None:
+                    trace.record(rnd, "follow", r.label, action.target)
             elif kind == FOLLOW_ONCE:
                 self._check_follow_target(r, action.target)
                 r.leader_label = action.target
@@ -271,63 +354,102 @@ class Scheduler:
             else:  # pragma: no cover - factory methods make this unreachable
                 raise ProtocolViolation(f"robot {r.label}: unknown action kind {kind}")
 
+        # deferred card-publication invalidation (see loop comment above)
+        for node in published:
+            cards_cache[node] = None
+
         # --- resolve follows ------------------------------------------
-        # resolved move per label: port or None (stay), computed lazily with
-        # memoization over the follow chains.
-        resolved: Dict[int, Optional[int]] = {}
-        once_labels = {r.label for r in followers_once}
-        for r, port in movers:
-            resolved[r.label] = port
-        for r in self.robots:
-            if r.status == rb.TERMINATED:
-                resolved.setdefault(r.label, None)
-
-        def resolve(label: int, chain: set) -> Optional[int]:
-            if label in resolved:
-                return resolved[label]
-            st = self.by_label[label]
-            if st.status == rb.FOLLOWING or label in once_labels:
-                if label in chain:  # follow cycle: nobody moves
-                    resolved[label] = None
-                    return None
-                chain.add(label)
-                leader = st.leader_label
-                if leader is None or leader not in self.by_label:
-                    resolved[label] = None
-                    return None
-                resolved[label] = resolve(leader, chain)
-                return resolved[label]
-            resolved[label] = None
-            return None
-
-        moving: List[Tuple[RobotState, int]] = list(movers)
-        for r in self.robots:
-            if r.status == rb.FOLLOWING or r.label in once_labels:
-                port = resolve(r.label, set())
-                if port is not None:
-                    # follower must share the leader's node to take the same port
-                    moving.append((r, port))
-
-        # one-round follows release leadership after resolution
-        for r in followers_once:
-            r.leader_label = None
+        # Iterative forward propagation from this round's movers over the
+        # reverse leader->followers index: a follower chain ending in a
+        # mover inherits its port; chains ending anywhere else (stay,
+        # sleep, terminate, cycle) stay put, so they never need visiting.
+        followers_of = self._followers_of
+        assigned: Optional[List[Tuple[RobotState, int]]] = None
+        if followers_of or followers_once:
+            once_by_leader: Dict[int, List[RobotState]] = {}
+            for f in followers_once:
+                once_by_leader.setdefault(f.leader_label, []).append(f)
+            assigned = []
+            stack = list(zip(movers_r, movers_p))
+            while stack:
+                r, port = stack.pop()
+                label = r.label
+                fs = followers_of.get(label)
+                if fs:
+                    for f in fs:
+                        assigned.append((f, port))
+                        stack.append((f, port))
+                fs = once_by_leader.get(label)
+                if fs:
+                    for f in fs:
+                        assigned.append((f, port))
+                        stack.append((f, port))
+            # one-round follows release leadership after resolution
+            for f in followers_once:
+                f.leader_label = None
+            # movers apply first (label order), then followers in label
+            # order — the application order of the reference scheduler
+            assigned.sort(key=_moving_label)
 
         # --- apply moves simultaneously --------------------------------
-        arrivals: Dict[int, int] = {}
-        for r, port in moving:
-            new_node, entry = self.graph.traverse(r.node, port)
-            r.node = new_node
-            r.entry_port = entry
-            r.moves += 1
-            arrivals[new_node] = arrivals.get(new_node, 0) + 1
-            if self.trace is not None:
-                self.trace.record(self.round, "move", r.label, (port, entry))
+        # Arrival tracking only matters while a wake_on_meet sleeper
+        # exists; tracing is hoisted out of the loop entirely.
+        meet_watch = self._meet_sleepers > 0
+        arrivals = set()
+        occupied = self._occupied
+        if trace is None:
+            for r, port in zip(movers_r, movers_p):
+                old = r.node
+                i = row[old] + port
+                new = nbr_arr[i]
+                ol = occ_lists[old]
+                ol.remove(r)
+                cards_cache[old] = None
+                if not ol:
+                    occupied -= 1
+                nl = occ_lists[new]
+                if nl:
+                    lab = r.label
+                    j = len(nl)
+                    while j and nl[j - 1].label > lab:
+                        j -= 1
+                    nl.insert(j, r)
+                else:
+                    nl.append(r)
+                    occupied += 1
+                cards_cache[new] = None
+                r.node = new
+                r.entry_port = ent_arr[i]
+                r.moves += 1
+                if meet_watch:
+                    arrivals.add(new)
+            self._occupied = occupied
+        else:
+            # traced path: _apply_move maintains self._occupied directly
+            for r, port in zip(movers_r, movers_p):
+                entry = self._apply_move(r, port, arrivals, meet_watch)
+                trace.record(rnd, "move", r.label, (port, entry))
+        # follower moves (rare path, so per-event trace checks are fine):
+        # validated here, in application order, because a non-co-located
+        # follower (possible in non-strict mode) can inherit a port its own
+        # node lacks and the raw CSR indexing must never see it.  Raising
+        # mid-application leaves the same partially-applied state and error
+        # as the seed scheduler's graph.traverse.
+        if assigned:
+            for f, port in assigned:
+                if not 0 <= port < deg_arr[f.node]:
+                    raise PortGraphError(
+                        f"node {f.node} has degree {deg_arr[f.node]}; port {port} is invalid"
+                    )
+                entry = self._apply_move(f, port, arrivals, meet_watch)
+                if trace is not None:
+                    trace.record(rnd, "move", f.label, (port, entry))
 
         # --- wake sleepers on arrivals ---------------------------------
         if arrivals:
             for r in self.robots:
                 if (
-                    r.status == rb.SLEEPING
+                    r.status == SLEEPING
                     and r.wake_on_meet
                     and r.node in arrivals
                 ):
@@ -340,15 +462,19 @@ class Scheduler:
             self._cascade_terminations()
 
         # --- bookkeeping ------------------------------------------------
-        if self.metrics.first_gather_round is None and self.all_gathered():
-            self.metrics.first_gather_round = self.round
+        metrics = self.metrics
+        if metrics.first_gather_round is None and self._occupied == 1:
+            metrics.first_gather_round = rnd
         if self.replay is not None:
-            self.replay.snapshot(self.round, self.positions())
-        self.metrics.rounds_executed += 1
-        self.round += 1
+            self.replay.snapshot(rnd, self.positions())
+        metrics.rounds_executed += 1
+        self.round = rnd + 1
 
     # ------------------------------------------------------------------
     def _apply_card(self, r: RobotState, action: Action) -> None:
+        # NB: does *not* invalidate the node's card cache — the hot loop
+        # defers that until every active robot has observed (cards are
+        # "as of the start of the round")
         if action.card is not None:
             card = dict(action.card)
             card["id"] = r.label  # the label is not forgeable
@@ -367,12 +493,67 @@ class Scheduler:
                 f"robot {r.label}: follow target {target} is not co-located"
             )
 
+    def _apply_move(self, r: RobotState, port: int, arrivals: set, meet_watch: bool) -> int:
+        """Apply one resolved move with full occupancy/cache bookkeeping.
+
+        Cold-path helper (traced movers and follower moves); the untraced
+        mover loop in ``_step`` inlines the same logic over local bindings.
+        Returns the entry port for trace recording.
+        """
+        csr = self._csr
+        old = r.node
+        i = csr.row_offsets[old] + port
+        new = csr.neighbor[i]
+        entry = csr.entry_port[i]
+        occ_lists = self._occ
+        cards_cache = self._cards
+        ol = occ_lists[old]
+        ol.remove(r)
+        cards_cache[old] = None
+        if not ol:
+            self._occupied -= 1
+        nl = occ_lists[new]
+        if nl:
+            lab = r.label
+            j = len(nl)
+            while j and nl[j - 1].label > lab:
+                j -= 1
+            nl.insert(j, r)
+        else:
+            nl.append(r)
+            self._occupied += 1
+        cards_cache[new] = None
+        r.node = new
+        r.entry_port = entry
+        r.moves += 1
+        if meet_watch:
+            arrivals.add(new)
+        return entry
+
+    def _unfollow(self, r: RobotState) -> None:
+        """Drop ``r`` from the reverse leader->followers index."""
+        lst = self._followers_of.get(r.leader_label)
+        if lst is not None:
+            try:
+                lst.remove(r)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            if not lst:
+                del self._followers_of[r.leader_label]
+
     def _terminate(self, r: RobotState) -> None:
-        if r.status == rb.TERMINATED:
+        if r.status == TERMINATED:
             return
-        r.status = rb.TERMINATED
+        if r.status == FOLLOWING:
+            self._unfollow(r)  # already counted dormant
+        elif r.status == ACTIVE:
+            self._dormant += 1
+        r.status = TERMINATED
         r.terminated_round = self.round
-        if not self.all_gathered():
+        self._alive -= 1
+        # terminations run after _step commits _occupied, so the O(1)
+        # counter answers "all gathered" without scanning robots
+        if self._occupied != 1:
             self.metrics.terminations_all_gathered = False
         if self.trace is not None:
             self.trace.record(self.round, "terminate", r.label, None)
@@ -382,18 +563,41 @@ class Scheduler:
             pass
 
     def _cascade_terminations(self) -> None:
-        """Followers whose (transitive) leader terminated react per their mode."""
-        changed = True
-        while changed:
-            changed = False
-            for r in self.robots:
-                if r.status != rb.FOLLOWING or r.leader_label is None:
-                    continue
-                leader = self.by_label.get(r.leader_label)
-                if leader is None or leader.status != rb.TERMINATED:
-                    continue
-                if r.on_leader_terminate == "terminate":
-                    self._terminate(r)
-                    changed = True
-                else:  # "wake"
-                    r.woken_early = True
+        """Followers whose (transitive) leader terminated react per their mode.
+
+        Single pass over the reverse leader->followers index: every affected
+        follower is visited exactly once.  Processing order replicates the
+        reference scheduler's iterated label-order fixpoint — conceptually,
+        "pass ``p``" contains followers whose enabling termination happened
+        in pass ``p-1`` at a *larger* label (they would have been reached
+        later in the same scan) join pass ``p-1`` instead — by ordering the
+        queue on ``(pass, label)``.
+        """
+        followers_of = self._followers_of
+        if not followers_of:
+            return
+        by_label = self.by_label
+        heap: List[Tuple[int, int, RobotState]] = []
+        # Seed with followers of every already-terminated leader (pass 1).
+        for llabel, flist in list(followers_of.items()):
+            if by_label[llabel].status == TERMINATED:
+                for f in flist:
+                    heap.append((1, f.label, f))
+        heapq.heapify(heap)
+        while heap:
+            pss, flabel, f = heapq.heappop(heap)
+            if f.status != FOLLOWING:  # pragma: no cover - defensive
+                continue
+            if f.on_leader_terminate == "terminate":
+                self._terminate(f)
+                flist = followers_of.get(flabel)
+                if flist:
+                    for g in flist:
+                        gpass = pss if g.label > flabel else pss + 1
+                        heapq.heappush(heap, (gpass, g.label, g))
+            else:  # "wake"
+                f.woken_early = True
+
+
+def _moving_label(entry: Tuple[RobotState, int]) -> int:
+    return entry[0].label

@@ -1,0 +1,96 @@
+"""The compiled CSR form agrees with the PortGraph adjacency everywhere."""
+
+import pickle
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.graphs.csr import CSRPortGraph, bfs_distances_csr, is_connected_csr
+from repro.graphs.port_graph import Edge, PortGraph, PortGraphError
+from repro.graphs.traversal import bfs_distances
+
+
+BATTERY = [
+    gg.ring(9),
+    gg.path(8),
+    gg.grid(3, 4),
+    gg.torus(3, 3),
+    gg.complete(6),
+    gg.star(7),
+    gg.binary_tree(8),
+    gg.lollipop(8),
+    gg.hypercube(3),
+    gg.erdos_renyi(10, seed=4),
+    gg.random_regular(10, 3, seed=6),
+    gg.ring(9, numbering="random", seed=2),
+]
+
+
+@pytest.mark.parametrize("graph", BATTERY, ids=lambda g: repr(g))
+def test_csr_matches_adjacency(graph):
+    csr = graph.csr
+    assert csr.n == graph.n
+    assert csr.row_offsets[0] == 0
+    assert csr.row_offsets[-1] == 2 * graph.m  # one slot per directed edge
+    for v in graph.nodes():
+        assert csr.degree[v] == graph.degree(v)
+        assert csr.row_offsets[v + 1] - csr.row_offsets[v] == graph.degree(v)
+        assert csr.neighbors(v) == list(graph.neighbors(v))
+        for p in graph.ports(v):
+            assert csr.traverse(v, p) == graph.traverse(v, p)
+            i = csr.row_offsets[v] + p
+            assert (csr.neighbor[i], csr.entry_port[i]) == graph.traverse(v, p)
+
+
+def test_csr_is_lazy_and_cached():
+    g = gg.ring(5)
+    first = g.csr
+    assert g.csr is first  # built once, cached
+
+
+def test_csr_invalid_ports_raise():
+    g = gg.path(4)
+    csr = g.csr
+    with pytest.raises(PortGraphError, match="invalid"):
+        csr.traverse(0, 1)  # endpoint has degree 1
+    with pytest.raises(PortGraphError, match="invalid"):
+        csr.traverse(1, -1)  # negatives must not wrap around
+
+
+def test_csr_connectivity():
+    assert is_connected_csr(gg.ring(6).csr)
+    assert is_connected_csr(PortGraph(1, []).csr)
+    disconnected = PortGraph(4, [Edge(0, 1, 0, 0), Edge(2, 3, 0, 0)])
+    assert not is_connected_csr(disconnected.csr)
+    assert not disconnected.is_connected()
+
+
+def test_csr_bfs_matches_traversal_layer():
+    g = gg.erdos_renyi(12, seed=9)
+    for v in g.nodes():
+        assert bfs_distances_csr(g.csr, v) == bfs_distances(g, v)
+
+
+def test_csr_single_node():
+    g = PortGraph(1, [])
+    csr = g.csr
+    assert csr.degree == [0]
+    assert csr.row_offsets == [0, 0]
+    assert csr.neighbors(0) == []
+
+
+def test_csr_standalone_construction():
+    g = gg.grid(2, 3)
+    csr = CSRPortGraph(g.adjacency())
+    assert csr.degree == list(g.csr.degree)
+    assert csr.neighbor == g.csr.neighbor
+
+
+def test_csr_survives_pickling():
+    """Pickle round-trips rebuild the graph; the CSR is rebuilt lazily."""
+    g = gg.torus(3, 3)
+    _ = g.csr  # force the cache before pickling
+    clone = pickle.loads(pickle.dumps(g))
+    assert clone == g
+    assert clone.csr.neighbor == g.csr.neighbor
+    assert clone.csr.entry_port == g.csr.entry_port

@@ -1,0 +1,400 @@
+"""The fast path is bit-identical to the seed scheduler.
+
+:mod:`repro.sim.scheduler` rewrote the round hot loop (incremental
+occupancy, card-tuple caching, iterative follow resolution, single-pass
+cascade, hoisted tracing).  This module runs the optimized
+:class:`~repro.sim.scheduler.Scheduler` and the seed
+:class:`~repro.sim.reference.ReferenceScheduler` side by side and asserts
+**exact** equality of
+
+* the full trace event list (every kind, every payload, every order),
+* final positions and per-robot statuses,
+* every :class:`~repro.sim.metrics.RunMetrics` field,
+
+over the real algorithms on the integration-matrix graph instances, over
+hand-built follow/cascade/jump scenarios that target the rewritten
+machinery specifically, and over hypothesis-generated robot scripts.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.placement import (
+    assign_labels,
+    dispersed_random,
+    undispersed_placement,
+)
+from repro.core.faster_gathering import faster_gathering_program
+from repro.core.undispersed import undispersed_gathering_program
+from repro.core.uxs_gathering import uxs_gathering_program
+from repro.graphs import generators as gg
+from repro.sim.actions import Action
+from repro.sim.reference import ReferenceScheduler
+from repro.sim.robot import RobotSpec
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
+from tests.test_integration_matrix import FAMILY_INSTANCES
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def _metrics_dict(sched):
+    m = sched.metrics
+    return {
+        **m.as_dict(),
+        "moves_by_robot": m.moves_by_robot,
+        "active_rounds_by_robot": m.active_rounds_by_robot,
+        "max_card_bits": m.max_card_bits,
+    }
+
+
+def run_both(graph, make_specs, max_rounds=200_000, stop_on_gather=False):
+    """Run fast and seed schedulers on identical specs; assert bit-identity.
+
+    Returns the fast scheduler for scenario-specific extra assertions.
+    """
+    results = []
+    for cls in (Scheduler, ReferenceScheduler):
+        trace = TraceRecorder()
+        sched = cls(graph, make_specs(), trace=trace)
+        sched.run(max_rounds=max_rounds, stop_on_gather=stop_on_gather)
+        results.append((sched, trace))
+    (fast, fast_trace), (ref, ref_trace) = results
+
+    assert fast_trace.events == ref_trace.events, "trace divergence"
+    assert fast.positions() == ref.positions(), "position divergence"
+    assert fast.round == ref.round, "round-counter divergence"
+    assert {r.label: r.status for r in fast.robots} == {
+        r.label: r.status for r in ref.robots
+    }, "status divergence"
+    assert _metrics_dict(fast) == _metrics_dict(ref), "metrics divergence"
+    return fast
+
+
+# ---------------------------------------------------------------------------
+# Real algorithms on the full integration matrix
+# ---------------------------------------------------------------------------
+
+IDS = [name for name, _ in FAMILY_INSTANCES]
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_matrix_undispersed(name, graph):
+    starts = undispersed_placement(graph, 4, seed=42)
+    labels = assign_labels(4, graph.n, seed=42)
+
+    def make_specs():
+        return [
+            RobotSpec(label=l, start=s, factory=undispersed_gathering_program())
+            for l, s in zip(labels, starts)
+        ]
+
+    fast = run_both(graph, make_specs)
+    assert fast.all_terminated(), name
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_matrix_uxs(name, graph):
+    starts = dispersed_random(graph, 3, seed=43)
+    labels = assign_labels(3, graph.n, seed=43)
+
+    def make_specs():
+        return [
+            RobotSpec(label=l, start=s, factory=uxs_gathering_program())
+            for l, s in zip(labels, starts)
+        ]
+
+    fast = run_both(graph, make_specs)
+    assert fast.all_terminated(), name
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_matrix_faster(name, graph):
+    k = graph.n // 2 + 1
+    starts = dispersed_random(graph, k, seed=44)
+    labels = assign_labels(k, graph.n, seed=44)
+
+    def make_specs():
+        return [
+            RobotSpec(label=l, start=s, factory=faster_gathering_program())
+            for l, s in zip(labels, starts)
+        ]
+
+    fast = run_both(graph, make_specs)
+    assert fast.all_terminated(), name
+
+
+# ---------------------------------------------------------------------------
+# Targeted scenarios for the rewritten machinery
+# ---------------------------------------------------------------------------
+
+
+def _spec(label, start, gen_fn):
+    return RobotSpec(label=label, start=start, factory=gen_fn)
+
+
+def test_follow_chain_and_branching_cascade():
+    """Deep follow chain + branches; leader terminates -> ordered cascade.
+
+    Labels are deliberately arranged so the cascade's iterated label-order
+    passes differ from naive BFS order (follower with a *smaller* label
+    than its leader joins a later pass) — pinning the single-pass rewrite
+    to the seed's exact trace order.
+    """
+    g = gg.ring(8)
+
+    def leader(ctx):
+        obs = yield
+        obs = yield Action.move(0)
+        obs = yield Action.move(0)
+        yield Action.terminate()
+
+    def follower(target):
+        def prog(ctx):
+            obs = yield
+            yield Action.follow(target, on_leader_terminate="terminate")
+            return
+
+        return prog
+
+    def waker(target):
+        def prog(ctx):
+            obs = yield
+            obs = yield Action.follow(target, on_leader_terminate="wake")
+            yield Action.terminate()
+
+        return prog
+
+    def make_specs():
+        return [
+            _spec(5, 0, leader),
+            _spec(7, 0, follower(5)),   # larger label than leader: pass 1
+            _spec(3, 0, follower(5)),   # smaller label than leader: pass 2
+            _spec(2, 0, follower(7)),   # chain through 7
+            _spec(6, 0, waker(3)),      # wake-mode: blocks propagation
+            _spec(1, 0, follower(6)),   # leader never terminates by cascade
+        ]
+
+    fast = run_both(g, make_specs)
+    assert fast.all_terminated()
+
+
+def test_follow_cycle_and_once_chains():
+    g = gg.path(4)
+
+    def mover(ctx):
+        obs = yield
+        obs = yield Action.move(0)
+        yield Action.terminate()
+
+    def once(target):
+        def prog(ctx):
+            obs = yield
+            obs = yield Action.follow_once(target)
+            yield Action.terminate()
+
+        return prog
+
+    def cyclic(target):
+        def prog(ctx):
+            obs = yield
+            obs = yield Action.follow_once(target)
+            yield Action.terminate()
+
+        return prog
+
+    def make_specs():
+        return [
+            _spec(4, 1, mover),
+            _spec(2, 1, once(4)),     # mirrors the mover
+            _spec(1, 1, once(2)),     # chain: once -> once -> mover
+            _spec(5, 2, cyclic(6)),   # 5 <-> 6 cycle: both stay
+            _spec(6, 2, cyclic(5)),
+        ]
+
+    run_both(g, make_specs)
+
+
+def test_wake_on_meet_and_jump_interleaving():
+    """Sleepers (meet-wakeable and not) + a fast-forward jump + arrivals."""
+    g = gg.path(5)
+
+    def sleeper_meet(ctx):
+        obs = yield
+        obs = yield Action.sleep(None, wake_on_meet=True)
+        yield Action.terminate()
+
+    def sleeper_deep(ctx):
+        obs = yield
+        obs = yield Action.sleep(60)
+        yield Action.terminate()
+
+    def visitor(ctx):
+        obs = yield
+        obs = yield Action.sleep(40)
+        obs = yield Action.move(0)  # arrives next to the meet-sleeper? no: onto it
+        yield Action.terminate()
+
+    def make_specs():
+        return [
+            _spec(1, 1, sleeper_meet),
+            _spec(2, 4, sleeper_deep),
+            _spec(3, 2, visitor),  # port 0 from node 2 leads to node 1
+        ]
+
+    run_both(g, make_specs)
+
+
+def test_card_publication_timing_with_cache():
+    """Co-located publishers: later robots must see start-of-round cards."""
+    g = gg.star(5)
+
+    def publisher(ctx):
+        obs = yield
+        for i in range(4):
+            obs = yield Action.stay(card={"v": i})
+        yield Action.terminate()
+
+    def mover_publisher(ctx):
+        obs = yield
+        obs = yield Action.stay(card={"w": "a"})
+        obs = yield Action.move(0, card={"w": "b"})
+        obs = yield Action.stay(card={"w": "c"})
+        obs = yield Action.stay()
+        yield Action.terminate()
+
+    def reader(ctx):
+        obs = yield
+        for _ in range(4):
+            obs = yield Action.stay(card={"seen": sorted(
+                (c.get("id"), c.get("v"), c.get("w")) for c in obs.cards
+            )})
+        yield Action.terminate()
+
+    def make_specs():
+        return [
+            _spec(1, 0, publisher),
+            _spec(2, 0, mover_publisher),
+            _spec(3, 0, reader),
+            _spec(4, 1, reader),
+        ]
+
+    run_both(g, make_specs)
+
+
+def test_remote_follower_invalid_inherited_port_raises_like_seed():
+    """Non-strict mode lets a follower track a non-co-located leader; if it
+    inherits a port its own node lacks, both schedulers must raise
+    PortGraphError (not walk another node's CSR slots, not IndexError)."""
+    from repro.graphs.port_graph import PortGraphError
+
+    g = gg.path(4)
+
+    def leader(ctx):
+        obs = yield
+        obs = yield Action.move(1)  # node 1 has degree 2; port 1 exists
+        yield Action.terminate()
+
+    def follower(ctx):
+        obs = yield
+        obs = yield Action.follow_once(2)  # at node 0: degree 1, port 1 invalid
+        yield Action.terminate()
+
+    outcomes = []
+    for cls in (Scheduler, ReferenceScheduler):
+        trace = TraceRecorder()
+        sched = cls(g, [_spec(2, 1, leader), _spec(1, 0, follower)], trace=trace)
+        with pytest.raises(PortGraphError) as exc:
+            sched.run(max_rounds=50)
+        # the leader's move applies before the follower's raises, in both
+        outcomes.append((str(exc.value), sched.positions(), trace.events))
+    assert outcomes[0] == outcomes[1]
+    message, positions, events = outcomes[0]
+    assert "degree 1" in message and "port 1" in message
+    assert positions == {1: 0, 2: 2}
+    assert [e.kind for e in events] == ["move"]  # the leader's applied move
+
+
+def test_stop_on_gather_runs_match():
+    g = gg.ring(6)
+
+    def walker(ctx):
+        obs = yield
+        obs = yield Action.move(0)
+        while True:
+            # rotor: keep moving around the ring instead of bouncing back
+            obs = yield Action.move((obs.entry_port + 1) % obs.degree)
+
+    def sitter(ctx):
+        obs = yield
+        while True:
+            obs = yield Action.stay()
+
+    def make_specs():
+        return [_spec(1, 0, walker), _spec(2, 3, sitter)]
+
+    fast = run_both(g, make_specs, max_rounds=100, stop_on_gather=True)
+    assert fast.metrics.first_gather_round is not None
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random scripted robots, both schedulers, exact trace equality
+# ---------------------------------------------------------------------------
+
+step_strategy = st.one_of(
+    st.tuples(st.just("move"), st.integers(0, 7)),
+    st.tuples(st.just("stay")),
+    st.tuples(st.just("sleep"), st.integers(0, 9)),
+    st.tuples(st.just("sleep_meet"), st.integers(0, 9)),
+    st.tuples(st.just("card"), st.integers(0, 3)),
+)
+
+script_strategy = st.lists(step_strategy, min_size=1, max_size=10)
+
+
+def scripted_factory(script):
+    def factory(ctx):
+        def program():
+            obs = yield
+            for step in script:
+                kind = step[0]
+                if kind == "move":
+                    obs = yield Action.move(step[1] % obs.degree)
+                elif kind == "stay":
+                    obs = yield Action.stay()
+                elif kind == "sleep":
+                    obs = yield Action.sleep(obs.round + 1 + step[1])
+                elif kind == "sleep_meet":
+                    obs = yield Action.sleep(obs.round + 1 + step[1], wake_on_meet=True)
+                elif kind == "card":
+                    obs = yield Action.stay(card={"v": step[1]})
+            yield Action.terminate()
+
+        return program()
+
+    return factory
+
+
+@given(
+    st.integers(0, 3),
+    st.lists(script_strategy, min_size=1, max_size=4),
+    st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_scripted_robots_bit_identical(graph_pick, scripts, data):
+    graph = [gg.ring(6), gg.path(5), gg.star(6), gg.erdos_renyi(7, seed=3)][graph_pick]
+    starts = [
+        data.draw(st.integers(0, graph.n - 1), label=f"start{i}")
+        for i in range(len(scripts))
+    ]
+
+    def make_specs():
+        return [
+            RobotSpec(label=i + 1, start=s, factory=scripted_factory(sc))
+            for i, (s, sc) in enumerate(zip(starts, scripts))
+        ]
+
+    run_both(graph, make_specs, max_rounds=10_000)

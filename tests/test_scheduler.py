@@ -417,6 +417,107 @@ class TestFollow:
             run(path2(), [make(1, 0, prog)])
 
 
+class TestFastForwardJumpSemantics:
+    """Pinning the interplay of fast-forward jumps with wake machinery."""
+
+    def test_wake_on_meet_sleeper_across_jump(self):
+        """A meet-wakeable sleeper must survive a jump and wake on arrival.
+
+        Everyone sleeps after round 0, so the scheduler jumps straight to
+        round 60; the visitor then walks onto the sleeper, who must wake at
+        round 61 (the round after the arrival), not at any jump artifact.
+        """
+        woke = {}
+
+        def sleeper(ctx):
+            obs = yield
+            obs = yield Action.sleep(None, wake_on_meet=True)
+            woke["round"] = obs.round
+            woke["ids"] = sorted(c["id"] for c in obs.cards)
+            yield Action.terminate()
+
+        def visitor(ctx):
+            obs = yield
+            obs = yield Action.sleep(60)
+            obs = yield Action.move(0)  # node 2 -> node 1, arrives end of 60
+            yield Action.terminate()
+
+        tr = TraceRecorder()
+        s = run(gg.path(4), [make(1, 1, sleeper), make(2, 2, visitor)], trace=tr)
+        jumps = [e for e in tr if e.kind == "jump"]
+        assert jumps and jumps[0].data == 60  # the fast-forward really fired
+        assert woke["round"] == 61
+        assert woke["ids"] == [1, 2]
+        # far fewer executed rounds than simulated
+        assert s.metrics.rounds_executed < 10 and s.round >= 61
+
+    def test_follower_until_round_inside_jumped_interval(self):
+        """A follower's ``until_round`` must bound a jump even when its
+        leader sleeps far past it."""
+        resumed = {}
+
+        def leader(ctx):
+            obs = yield
+            obs = yield Action.sleep(100)
+            yield Action.terminate()
+
+        def follower(ctx):
+            obs = yield
+            obs = yield Action.follow(2, until_round=40, on_leader_terminate="wake")
+            resumed["round"] = obs.round
+            yield Action.terminate()
+
+        tr = TraceRecorder()
+        s = run(path2(), [make(2, 0, leader), make(1, 0, follower)], trace=tr)
+        assert resumed["round"] == 40  # woke exactly at until_round
+        jump_targets = [e.data for e in tr if e.kind == "jump"]
+        assert jump_targets[0] == 40  # first jump stops at the follower...
+        assert 100 in jump_targets  # ...later ones carry on to the leader
+        assert s.round >= 100
+
+    def test_stop_on_gather_exactly_at_max_rounds(self):
+        """Gathering in the final permitted round beats the timeout check."""
+
+        def walker(ctx):
+            obs = yield
+            obs = yield Action.move(0)
+            while True:
+                obs = yield Action.move((obs.entry_port + 1) % obs.degree)
+
+        def sitter(ctx):
+            obs = yield
+            while True:
+                obs = yield Action.stay()
+
+        # the walker reaches node 3 at the end of round 2
+        g = gg.path(4)
+        specs = [make(1, 0, walker), make(2, 3, sitter)]
+        s = Scheduler(g, specs, strict=True)
+        s.run(max_rounds=2, stop_on_gather=True)
+        assert s.metrics.first_gather_round == 2
+        assert s.all_gathered() and not s.all_terminated()
+
+    def test_stop_on_gather_one_round_late_times_out(self):
+        """One round short and the same workload must raise the timeout."""
+
+        def walker(ctx):
+            obs = yield
+            obs = yield Action.move(0)
+            while True:
+                obs = yield Action.move((obs.entry_port + 1) % obs.degree)
+
+        def sitter(ctx):
+            obs = yield
+            while True:
+                obs = yield Action.stay()
+
+        g = gg.path(4)
+        specs = [make(1, 0, walker), make(2, 3, sitter)]
+        s = Scheduler(g, specs, strict=True)
+        with pytest.raises(SimulationTimeout):
+            s.run(max_rounds=1, stop_on_gather=True)
+
+
 class TestTerminationBookkeeping:
     def test_termination_while_apart_flags_metrics(self):
         def prog(ctx):
