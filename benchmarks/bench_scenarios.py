@@ -1,0 +1,65 @@
+"""Scenario-campaign smoke: the curated registry behaves as advertised.
+
+Runs every registered scenario through :func:`repro.analysis.sweeps.
+scenario_sweep` (one runtime batch per scenario, clean twins included)
+and asserts the curation rules the registry promises: every spec
+completes, expectations hold, and the whole campaign suite stays cheap
+enough for CI.  Wall-clock is tracked by pytest-benchmark for regression
+purposes only — simulated rounds are the paper's cost metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import scenario_sweep
+from repro.scenarios import all_scenarios
+
+from conftest import print_experiment
+
+
+def run_campaigns():
+    rows = []
+    for sc in all_scenarios():
+        out = scenario_sweep(sc.name)
+        summary = out["summary"]
+        assert summary["failures"] == 0, (sc.name, out["rows"])
+        rate = summary["mis_detection_rate"]
+        rows.append(
+            {
+                "scenario": sc.name,
+                "runs": summary["runs"],
+                "mis_rate": "n/a" if rate is None else f"{rate:.2f}",
+                "stranded": summary["stranded_total"],
+                "crashed": summary["crashed_total"],
+                "max_delta": max(
+                    (r["rounds_past_schedule"] for r in out["rows"]
+                     if r["rounds_past_schedule"] is not None),
+                    default=0,
+                ),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenario_campaign_smoke(bench_once):
+    rows = bench_once(run_campaigns)
+    print_experiment("Scenario campaigns - §1.4 alternative settings", rows)
+
+    by_name = {r["scenario"]: r for r in rows}
+    assert len(rows) >= 8
+
+    # the clean baseline never mis-detects and never strands anyone
+    clean = by_name["clean-sync"]
+    assert clean["mis_rate"] == "0.00" and clean["stranded"] == 0
+
+    # fault campaigns produce measurable damage, not exceptions
+    assert by_name["crash-storm"]["mis_rate"] == "1.00"
+    assert by_name["crash-storm"]["stranded"] >= 2
+    assert by_name["single-crash-waiter"]["crashed"] == 1
+    assert by_name["delayed-start"]["stranded"] == 1
+
+    # perturbations cost rounds against the clean twin somewhere
+    assert by_name["delayed-start"]["max_delta"] > 0
+    assert by_name["semi-sync-round-robin"]["max_delta"] > 0

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.analysis.placement import min_pairwise_distance
 from repro.graphs.port_graph import PortGraph
+from repro.sim.activation import build_activation
 from repro.sim.robot import RobotSpec
 from repro.sim.world import World
 from repro.uxs.generators import practical_plan
@@ -92,6 +93,30 @@ def verify_uxs_for_graph(graph: PortGraph) -> None:
         )
 
 
+def _scenario_extras(result) -> Dict[str, Any]:
+    """Fault metrics for non-clean runs (defined in ``docs/SCENARIOS.md``).
+
+    ``mis_detected`` — every robot halted, yet the swarm is not on one node:
+    survivors completed their schedules *believing* gathering succeeded.
+    ``stranded`` — robots that ended anywhere but the rally point (the
+    plurality final node, smallest node id on ties); 0 for a gathered run.
+    ``crashed`` / ``crashed_labels`` — robots whose program was crash-faulted
+    before it finished (from the wrapper's ``crashed_at`` stat).
+    """
+    positions = result.positions
+    counts: Dict[int, int] = {}
+    for node in positions.values():
+        counts[node] = counts.get(node, 0) + 1
+    rally = min(counts, key=lambda v: (-counts[v], v))
+    crashed = sorted(l for l, st in result.stats.items() if "crashed_at" in st)
+    return {
+        "mis_detected": not result.gathered,
+        "stranded": sum(1 for node in positions.values() if node != rally),
+        "crashed": len(crashed),
+        "crashed_labels": crashed,
+    }
+
+
 def run_gathering(
     algorithm: str,
     graph: PortGraph,
@@ -103,26 +128,48 @@ def run_gathering(
     stop_on_gather: bool = False,
     max_rounds: Optional[int] = None,
     strict: bool = True,
+    activation: str = "sync",
+    activation_args: Optional[Dict[str, Any]] = None,
+    fault_plan=None,
 ) -> GatheringRun:
     """Run one configured gathering instance and return its record.
 
     ``factory_for()`` must return a fresh program factory per robot (program
     factories from :mod:`repro.core` are stateless, so passing e.g.
     ``lambda: faster_gathering_program()`` or a pre-built factory works).
+
+    ``activation`` names an activation model from
+    :mod:`repro.sim.activation` (``"sync"`` — the paper's model — runs the
+    scheduler's native path).  ``fault_plan`` is an optional
+    :class:`repro.ext.faults.FaultPlan` applied per placement index.  When
+    either deviates from the clean synchronous setting, the record's
+    ``extra`` gains the scenario fault metrics (``mis_detected``,
+    ``stranded``, ``crashed``) defined in ``docs/SCENARIOS.md``.
     """
     if len(starts) != len(labels):
         raise ValueError("starts and labels must align")
     if uses_uxs:
         verify_uxs_for_graph(graph)
+    model = build_activation(activation, activation_args)
+    faulted = fault_plan is not None and not fault_plan.empty
+    if faulted:
+        fault_plan.validate_for(len(starts))
     factory = factory_for()
     specs = [
-        RobotSpec(label=l, start=s, factory=factory, knowledge=dict(knowledge or {}))
-        for l, s in zip(labels, starts)
+        RobotSpec(
+            label=l,
+            start=s,
+            factory=fault_plan.wrap(i, factory) if faulted else factory,
+            knowledge=dict(knowledge or {}),
+        )
+        for i, (l, s) in enumerate(zip(labels, starts))
     ]
     world = World(graph, specs, strict=strict)
     kwargs: Dict[str, Any] = {"stop_on_gather": stop_on_gather}
     if max_rounds is not None:
         kwargs["max_rounds"] = max_rounds
+    if model is not None:
+        kwargs["activation"] = model
     result = world.run(**kwargs)
     extra: Dict[str, Any] = {}
     for stats in result.stats.values():
@@ -130,6 +177,12 @@ def run_gathering(
             extra["gathered_at_step"] = stats["gathered_at_step"]
         if "map_memory_bits" in stats:
             extra["map_memory_bits"] = stats["map_memory_bits"]
+    if faulted or model is not None:
+        extra.update(_scenario_extras(result))
+    # Sorted key order: the result cache stores records as sort_keys JSON,
+    # so a cache round-trip re-orders dict keys.  Normalizing here keeps
+    # fresh and cached records identical down to row/column order.
+    extra = dict(sorted(extra.items()))
     return GatheringRun(
         algorithm=algorithm,
         n=graph.n,

@@ -28,7 +28,7 @@ from repro.analysis.fitting import loglog_slope
 from repro.analysis.placement import adversarial_scatter, min_pairwise_distance
 from repro.core import bounds
 from repro.graphs import generators as gg
-from repro.runtime import Executor, ResultCache, RunSpec, run_specs
+from repro.runtime import ExecutionStats, Executor, ResultCache, RunSpec, execute, run_specs
 
 __all__ = [
     "undispersed_sweep",
@@ -37,6 +37,7 @@ __all__ = [
     "lemma15_sweep",
     "detection_tail_sweep",
     "cost_sweep",
+    "scenario_sweep",
 ]
 
 
@@ -46,6 +47,7 @@ def undispersed_sweep(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> Dict[str, Any]:
     """Theorem 8 sweep (E1 shape): rounds vs n on rings, with slope."""
     specs = [
@@ -61,7 +63,7 @@ def undispersed_sweep(
         )
         for n in ns
     ]
-    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed, stats=stats)
     rows: List[Dict[str, Any]] = [
         {"n": n, "rounds": rec.rounds, "detected": rec.detected, "max_moves": rec.max_moves}
         for n, rec in zip(ns, recs)
@@ -75,6 +77,7 @@ def regime_sweep(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> List[Dict[str, Any]]:
     """Theorem 16's regime table (E5) as data."""
     cases = []
@@ -94,7 +97,7 @@ def regime_sweep(
         )
         for n, _regime, k in cases
     ]
-    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed, stats=stats)
     return [
         {
             "n": n,
@@ -114,6 +117,7 @@ def staged_distance_sweep(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> List[Dict[str, Any]]:
     """Theorem 12's staged complexity (E4) as data."""
     boundaries = bounds.faster_gathering_boundaries(n)
@@ -134,7 +138,7 @@ def staged_distance_sweep(
                 labels_args={"seed": d + 1},
             )
         )
-    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed, stats=stats)
     return [
         {
             "pair_dist": d,
@@ -186,6 +190,7 @@ def detection_tail_sweep(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> List[Dict[str, Any]]:
     """E10a as data: what detection costs on top of first-gather."""
     algorithms = ("uxs", "faster")
@@ -201,7 +206,7 @@ def detection_tail_sweep(
         )
         for name in algorithms
     ]
-    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed, stats=stats)
     return [
         {
             "algorithm": name,
@@ -219,6 +224,7 @@ def cost_sweep(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> List[Dict[str, Any]]:
     """The §1.4 *cost* metric (total edge traversals): Faster-Gathering vs
     the TZ baseline on identical many-robot configurations (E12)."""
@@ -237,7 +243,7 @@ def cost_sweep(
                     labels_args={"seed": 3},
                 )
             )
-    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed)
+    recs = run_specs(specs, executor=executor, cache=cache, root_seed=root_seed, stats=stats)
     rows = []
     for i, n in enumerate(ns):
         fast, base = recs[2 * i], recs[2 * i + 1]
@@ -253,3 +259,124 @@ def cost_sweep(
             }
         )
     return rows
+
+
+def scenario_sweep(
+    name: str,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    root_seed: Optional[int] = None,
+    stats: Optional[ExecutionStats] = None,
+) -> Dict[str, Any]:
+    """Run one registered scenario and derive its fault metrics.
+
+    Compiles the scenario (:mod:`repro.scenarios`) to its spec batch, adds
+    the deduplicated *clean twins* (the same experiments in the paper's
+    exact model — synchronous activation, no faults), executes everything
+    in one runtime batch, and reports per-run rows plus a campaign summary:
+
+    * ``mis_detection_rate`` — fraction of completed scenario runs whose
+      robots all halted without the swarm being on one node;
+    * ``stranded_total`` / ``crashed_total`` — robots left off the rally
+      point / killed by the fault plan, summed over runs;
+    * ``rounds_past_schedule`` (per row) — the run's rounds minus its
+      clean twin's, i.e. what the perturbation cost (can be negative:
+      see the ``adversarial-activation`` scenario).
+
+    Seeds are assigned *before* twin derivation, so a twin differs from
+    its scenario spec only in the scenario fields.  A spec that fails
+    (curated scenarios never do — the registry's curation rule) yields a
+    row with ``error`` set instead of poisoning the batch.
+    """
+    # Imported here, not at module top: repro.scenarios sits above the
+    # runtime layer this module feeds, and a top-level import would tie the
+    # two packages into an import cycle for every analysis consumer.
+    from repro.runtime import assign_seeds
+    from repro.scenarios import clean_twin, get_scenario
+
+    scenario = get_scenario(name)
+    specs = list(scenario.specs)
+    if root_seed is not None:
+        specs = assign_seeds(specs, root_seed)
+
+    batch = list(specs)
+    twin_index: Dict[int, int] = {}
+    # Seed the dedup map with the scenario specs themselves: a twin that
+    # equals another spec already in the batch (the natural with/without-
+    # faults pairing) must reuse that run, not execute a duplicate.
+    seen_twins: Dict[str, int] = {}
+    for i, spec in enumerate(specs):
+        seen_twins.setdefault(spec.canonical_json(), i)
+    for i, spec in enumerate(specs):
+        twin = clean_twin(spec)
+        if twin == spec:
+            twin_index[i] = i
+            continue
+        key = twin.canonical_json()
+        if key not in seen_twins:
+            seen_twins[key] = len(batch)
+            batch.append(twin)
+        twin_index[i] = seen_twins[key]
+
+    result = execute(batch, executor=executor, cache=cache, stats=stats)
+    outcomes = result.outcomes
+
+    rows: List[Dict[str, Any]] = []
+    for i, spec in enumerate(specs):
+        outcome = outcomes[i]
+        plan = spec.fault_plan()
+        row: Dict[str, Any] = {
+            "scenario": name,
+            "algorithm": spec.algorithm,
+            "family": spec.family,
+            "n": spec.graph.get("n"),
+            "k": spec.k,
+            "activation": spec.activation,
+            "faults": plan.describe() if plan else "none",
+        }
+        if outcome.ok:
+            rec = outcome.run
+            twin_outcome = outcomes[twin_index[i]]
+            row.update(
+                rounds=rec.rounds,
+                gathered=rec.gathered,
+                detected=rec.detected,
+                mis_detected=rec.extra.get("mis_detected", False),
+                stranded=rec.extra.get("stranded", 0),
+                crashed=rec.extra.get("crashed", 0),
+                rounds_past_schedule=(
+                    rec.rounds - twin_outcome.run.rounds if twin_outcome.ok else None
+                ),
+                error=None,
+            )
+        else:
+            row.update(
+                rounds=None,
+                gathered=None,
+                detected=None,
+                mis_detected=None,
+                stranded=None,
+                crashed=None,
+                rounds_past_schedule=None,
+                error=outcome.error_type,
+            )
+        rows.append(row)
+
+    done = [r for r in rows if r["error"] is None]
+    summary = {
+        "runs": len(rows),
+        "failures": len(rows) - len(done),
+        "mis_detection_rate": (
+            sum(1 for r in done if r["mis_detected"]) / len(done) if done else None
+        ),
+        "stranded_total": sum(r["stranded"] for r in done),
+        "crashed_total": sum(r["crashed"] for r in done),
+    }
+    return {
+        "scenario": name,
+        "title": scenario.title,
+        "expectation": scenario.expectation,
+        "rows": rows,
+        "summary": summary,
+        "stats": result.stats,
+    }

@@ -12,6 +12,10 @@ Examples::
         --ns 8 12 16 24 --k 4
     python -m repro sweep --ns 8 12 16 --workers 4 --cache-dir .repro-cache
     python -m repro report --workers 4 --cache-dir .repro-cache --out report.md
+    python -m repro scenarios list
+    python -m repro scenarios describe single-crash-waiter
+    python -m repro scenarios run crash-storm --workers 2
+    python -m repro sweep --scenario adversarial-activation
 
 The CLI is a thin shell over :mod:`repro.analysis` and :mod:`repro.runtime`:
 ``run``, ``sweep`` and ``report`` describe their work as
@@ -19,7 +23,8 @@ The CLI is a thin shell over :mod:`repro.analysis` and :mod:`repro.runtime`:
 :func:`repro.runtime.execute`.  ``--workers N`` fans the batch out over N
 worker processes (rows are identical to serial execution, just faster);
 ``--cache-dir DIR`` memoizes completed runs on disk so repeated
-invocations execute zero simulations.
+invocations execute zero simulations.  ``scenarios`` exposes the curated
+registry of :mod:`repro.scenarios` (see docs/SCENARIOS.md).
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from repro.runtime import (
     ALGORITHM_BUILDERS,
     NO_DETECTION,
     NO_UXS,
+    ExecutionStats,
     Executor,
     ParallelExecutor,
     ResultCache,
@@ -45,6 +51,7 @@ from repro.runtime import (
     SerialExecutor,
     execute,
 )
+from repro.scenarios import all_scenarios, get_scenario, scenario_names
 
 __all__ = ["main"]
 
@@ -132,6 +139,19 @@ def runtime_requested(args) -> bool:
     return args.workers is not None or bool(args.cache_dir)
 
 
+def runtime_context(args) -> str:
+    """Scenario / knowledge-ablation suffix for the runtime summary line,
+    so the accounting says *what* ran, not just how much."""
+    parts = []
+    if getattr(args, "scenario", None):
+        parts.append(f"scenario={args.scenario}")
+    if getattr(args, "max_degree", None) is not None:
+        parts.append(f"knowledge[max_degree]={args.max_degree}")
+    if getattr(args, "hop_distance", None) is not None:
+        parts.append(f"knowledge[hop_distance]={args.hop_distance}")
+    return " — " + ", ".join(parts) if parts else ""
+
+
 def cmd_families(_args) -> int:
     rows = [{"family": name} for name in sorted(gg.FAMILIES)]
     print(render_table(rows, title="graph families"))
@@ -172,13 +192,15 @@ def cmd_plan(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.analysis.report import generate_report
+    from repro.analysis.report import generate_report, report_scenarios
 
+    stats = ExecutionStats()
     text = generate_report(
         quick=not args.full,
         executor=make_executor(args),
         cache=make_cache(args),
         root_seed=args.seed,
+        stats=stats,
     )
     if args.out:
         from pathlib import Path
@@ -187,6 +209,9 @@ def cmd_report(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(text)
+    if runtime_requested(args):
+        scenarios = ", ".join(report_scenarios(quick=not args.full))
+        print(f"\n{stats.summary()} — scenarios: {scenarios}")
     return 0
 
 
@@ -212,11 +237,13 @@ def cmd_run(args) -> int:
     if args.algorithm in NO_DETECTION:
         print("(no detection: 'rounds' is when the harness stopped; see first_gather)")
     if runtime_requested(args):
-        print(f"\n{result.stats.summary()}")
+        print(f"\n{result.stats.summary()}{runtime_context(args)}")
     return 0 if rec.gathered or args.algorithm in NO_DETECTION else 1
 
 
 def cmd_sweep(args) -> int:
+    if args.scenario:
+        return _sweep_scenario(args)
     specs = []
     for n in args.ns:
         ns_args = argparse.Namespace(**vars(args))
@@ -229,8 +256,93 @@ def cmd_sweep(args) -> int:
         slope = loglog_slope(args.ns, [r["rounds"] for r in rows])
         print(f"\nlog-log slope of rounds vs n: {slope:.2f}")
     if runtime_requested(args):
-        print(f"\n{result.stats.summary()}")
+        print(f"\n{result.stats.summary()}{runtime_context(args)}")
     return 0
+
+
+def _sweep_scenario(args) -> int:
+    """``sweep --scenario NAME``: the same campaign path as ``scenarios
+    run`` (clean twins, fault metrics, summary).
+
+    A scenario's specs are pinned in the registry, so every spec-shaping
+    sweep flag would be silently ignored — reject such combinations loudly
+    instead of letting the user believe their flags took effect.
+    """
+    defaults = vars(make_parser().parse_args(["sweep", "--scenario", args.scenario]))
+    honored = {"scenario", "workers", "cache_dir"}
+    ignored = sorted(
+        "--" + key.replace("_", "-")
+        for key, value in vars(args).items()
+        if key in defaults and key not in honored and value != defaults[key]
+    )
+    if ignored:
+        raise SystemExit(
+            f"--scenario {args.scenario} runs the registry's pinned specs; "
+            f"these flags would be ignored: {', '.join(ignored)}"
+        )
+    args.name = args.scenario
+    return cmd_scenarios_run(args)
+
+
+def cmd_scenarios_list(_args) -> int:
+    rows = [
+        {
+            "scenario": sc.name,
+            "runs": len(sc.specs),
+            "tags": ",".join(sc.tags),
+            "title": sc.title,
+        }
+        for sc in all_scenarios()
+    ]
+    print(render_table(rows, title=f"{len(rows)} registered scenarios"))
+    print("\n(details: python -m repro scenarios describe NAME)")
+    return 0
+
+
+def cmd_scenarios_describe(args) -> int:
+    scenario = get_scenario(args.name)
+    print(f"scenario: {scenario.name}")
+    print(f"  title:       {scenario.title}")
+    if scenario.paper:
+        print(f"  paper:       {scenario.paper}")
+    if scenario.tags:
+        print(f"  tags:        {', '.join(scenario.tags)}")
+    print(f"  description: {scenario.description}")
+    print(f"  expectation: {scenario.expectation}")
+    print()
+    print(render_table(list(scenario.spec_rows()), title=f"{len(scenario.specs)} compiled specs"))
+    # The exact content-addressed identity of each compiled spec: the same
+    # SHA-256 the result cache files are named by, so a describe output can
+    # be checked against a cache directory byte-for-byte.
+    print("\ncache identity (sha256 of RunSpec.canonical_json):")
+    for i, spec in enumerate(scenario.specs):
+        print(f"  spec {i}: {ResultCache.key_for(spec)}")
+    return 0
+
+
+def cmd_scenarios_run(args) -> int:
+    from repro.analysis.sweeps import scenario_sweep
+
+    # No root_seed here: curated scenarios pin every behavioral seed, and a
+    # root seed would re-key each spec, divorcing the cache entries from
+    # the identities `scenarios describe` prints.
+    out = scenario_sweep(
+        args.name,
+        executor=make_executor(args),
+        cache=make_cache(args),
+    )
+    print(render_table(out["rows"], title=f"scenario: {args.name}"))
+    summary = out["summary"]
+    rate = summary["mis_detection_rate"]
+    print(
+        f"\ncampaign: {summary['runs']} runs, {summary['failures']} failed, "
+        f"mis-detection rate {'n/a' if rate is None else f'{rate:.2f}'}, "
+        f"{summary['stranded_total']} stranded, {summary['crashed_total']} crashed"
+    )
+    print(f"expectation: {out['expectation']}")
+    if runtime_requested(args):
+        print(f"\n{out['stats'].summary()} — scenario={args.name}")
+    return 0 if summary["failures"] == 0 else 1
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -305,7 +417,24 @@ def make_parser() -> argparse.ArgumentParser:
     common(ps)
     ps.add_argument("--ns", type=int, nargs="+", default=[8, 12, 16],
                     help="instance sizes to sweep (default: 8 12 16)")
+    ps.add_argument("--scenario", choices=scenario_names(), default=None,
+                    help="run a registered scenario's spec batch instead of "
+                         "building specs from the flags above")
     ps.set_defaults(fn=cmd_sweep)
+
+    psc = sub.add_parser("scenarios", help="the curated scenario registry")
+    scen_sub = psc.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser("list", help="enumerate registered scenarios").set_defaults(
+        fn=cmd_scenarios_list
+    )
+    sd = scen_sub.add_parser("describe",
+                             help="scenario details, compiled specs, cache identities")
+    sd.add_argument("name", choices=scenario_names())
+    sd.set_defaults(fn=cmd_scenarios_describe)
+    sr = scen_sub.add_parser("run", help="run a scenario campaign with fault metrics")
+    sr.add_argument("name", choices=scenario_names())
+    runtime_flags(sr)
+    sr.set_defaults(fn=cmd_scenarios_run)
 
     return p
 

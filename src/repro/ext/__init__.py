@@ -14,9 +14,14 @@ open; this package provides the instrumentation to *experiment* with them
   *with detection* is impossible in general under crashes (a waiter that
   dies can never be collected, and nobody can know); the wrapper lets
   experiments quantify how the algorithms degrade.
+* :mod:`~repro.ext.faults` — :class:`FaultPlan`, the declarative form of
+  both wrappers: plain data a :class:`repro.runtime.RunSpec` can carry, so
+  fault campaigns compose with parallel execution and result caching (and
+  with each other — a robot can be both delayed and doomed).
 """
 
 from repro.ext.startup_delay import delayed_start
 from repro.ext.crash_faults import crash_at
+from repro.ext.faults import FaultPlan
 
-__all__ = ["delayed_start", "crash_at"]
+__all__ = ["delayed_start", "crash_at", "FaultPlan"]

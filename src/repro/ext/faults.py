@@ -1,0 +1,125 @@
+"""Composable, declarative fault plans.
+
+:mod:`repro.ext.crash_faults` and :mod:`repro.ext.startup_delay` are
+program-factory wrappers: perfect for hand-built worlds, invisible to the
+declarative runtime.  A :class:`FaultPlan` lifts them to spec level — a
+plain-data description of *which robot* (by placement index) suffers
+*which fault* — so a :class:`repro.runtime.RunSpec` can carry a fault
+campaign through the cache/parallel machinery, and scenarios can compose
+crashes with delayed starts on the same robot.
+
+Robots are addressed by **placement index**: position ``i`` in the spec's
+``starts``/``labels`` lists (0-based), *not* by label.  Labels are drawn
+by the label scheme at materialization time, so a plan written against
+labels would silently re-target robots whenever the label seed changed;
+the placement index is stable across label schemes by construction.
+
+Wrapping order is crash-outermost: ``crash_at(delayed_start(f, d), r)``.
+Both wrappers anchor on the absolute ``obs.round``, so a crash scheduled
+*inside* the delay window fires at the robot's first activation after the
+delay — the fail-stop nobody can observe earlier, matching
+:func:`~repro.ext.crash_faults.crash_at`'s sleeping-robot convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.ext.crash_faults import crash_at
+from repro.ext.startup_delay import delayed_start
+from repro.sim.robot import ProgramFactory
+
+__all__ = ["FaultPlan"]
+
+
+def _normalize(table: Mapping[Any, int], what: str) -> Tuple[Tuple[int, int], ...]:
+    """``{index: round}`` (JSON string keys welcome) -> sorted int pairs."""
+    pairs = []
+    for raw_index, value in table.items():
+        index = int(raw_index)
+        value = int(value)
+        if index < 0:
+            raise ValueError(f"{what}: robot index {index} must be >= 0")
+        if value < 0:
+            raise ValueError(f"{what}: round/delay {value} must be >= 0")
+        pairs.append((index, value))
+    pairs.sort()
+    if len({i for i, _ in pairs}) != len(pairs):
+        raise ValueError(f"{what}: duplicate robot index")
+    return tuple(pairs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault campaign: crash rounds and start delays by index.
+
+    ``crashes`` / ``delays`` are sorted ``(robot_index, value)`` tuples so
+    the plan is hashable and order-canonical; build from dicts with
+    :meth:`from_dict`.
+    """
+
+    crashes: Tuple[Tuple[int, int], ...] = ()
+    delays: Tuple[Tuple[int, int], ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Build from the JSON form ``{"crash": {i: round}, "delay": {i: d}}``.
+
+        This is the shape :attr:`repro.runtime.RunSpec.faults` carries
+        (keys may be strings — JSON round-trips force that).
+        """
+        known = set(data) - {"crash", "delay"}
+        if known:
+            raise ValueError(f"unknown fault kinds {sorted(known)}; known: crash, delay")
+        return cls(
+            crashes=_normalize(data.get("crash", {}), "crash"),
+            delays=_normalize(data.get("delay", {}), "delay"),
+        )
+
+    def to_dict(self) -> Dict[str, Dict[str, int]]:
+        """The canonical JSON form (string keys, sorted), inverse of
+        :meth:`from_dict` — what a spec should carry in ``faults``."""
+        out: Dict[str, Dict[str, int]] = {}
+        if self.crashes:
+            out["crash"] = {str(i): r for i, r in self.crashes}
+        if self.delays:
+            out["delay"] = {str(i): d for i, d in self.delays}
+        return out
+
+    @property
+    def empty(self) -> bool:
+        return not self.crashes and not self.delays
+
+    def validate_for(self, k: int) -> None:
+        """Reject indices outside a ``k``-robot placement."""
+        for what, pairs in (("crash", self.crashes), ("delay", self.delays)):
+            for index, _ in pairs:
+                if index >= k:
+                    raise ValueError(
+                        f"{what}: robot index {index} out of range for k={k}"
+                    )
+
+    def wrap(self, index: int, factory: ProgramFactory) -> ProgramFactory:
+        """The factory robot ``index`` should run: the original, possibly
+        wrapped in :func:`delayed_start` and/or :func:`crash_at`."""
+        wrapped = factory
+        for i, delay in self.delays:
+            if i == index and delay > 0:
+                wrapped = delayed_start(wrapped, delay)
+        for i, round_ in self.crashes:
+            if i == index:
+                wrapped = crash_at(wrapped, round_)
+        return wrapped
+
+    def describe(self) -> str:
+        parts = []
+        if self.crashes:
+            parts.append(
+                "crash " + ", ".join(f"#{i}@r{r}" for i, r in self.crashes)
+            )
+        if self.delays:
+            parts.append(
+                "delay " + ", ".join(f"#{i}+{d}" for i, d in self.delays)
+            )
+        return "; ".join(parts) if parts else "none"

@@ -53,6 +53,15 @@ class ExecutionStats:
             f"{self.cache_hits} cached, {self.failures} failed"
         )
 
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another batch's accounting into this one (used by
+        multi-sweep call sites like the report to print one total line)."""
+        self.total += other.total
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.failures += other.failures
+        self.elapsed += other.elapsed
+
 
 @dataclass
 class ExecutionResult:
@@ -73,13 +82,16 @@ def execute(
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> ExecutionResult:
     """Run a batch of specs through an executor, consulting the cache.
 
     ``root_seed`` fills unset spec seeds deterministically *before* cache
     lookup and dispatch, so seed assignment is independent of executor
     choice and cache state.  ``progress`` fires only for runs that actually
-    execute (cache hits are instantaneous).
+    execute (cache hits are instantaneous).  ``stats``, when given, has this
+    batch's accounting merged into it — the hook multi-sweep call sites use
+    to report one grand total.
     """
     t0 = time.perf_counter()
     specs = list(specs)
@@ -117,14 +129,16 @@ def execute(
         outcomes[i] = outcome
 
     final = [o for o in outcomes if o is not None]
-    stats = ExecutionStats(
+    batch_stats = ExecutionStats(
         total=len(specs),
         executed=len(executed),
         cache_hits=hits,
         failures=sum(1 for o in final if not o.ok),
         elapsed=time.perf_counter() - t0,
     )
-    return ExecutionResult(outcomes=final, stats=stats)
+    if stats is not None:
+        stats.merge(batch_stats)
+    return ExecutionResult(outcomes=final, stats=batch_stats)
 
 
 def run_specs(
@@ -133,8 +147,14 @@ def run_specs(
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> List[GatheringRun]:
     """:func:`execute`, unwrapped to records (raises on any failure)."""
     return execute(
-        specs, executor=executor, cache=cache, root_seed=root_seed, progress=progress
+        specs,
+        executor=executor,
+        cache=cache,
+        root_seed=root_seed,
+        progress=progress,
+        stats=stats,
     ).records()

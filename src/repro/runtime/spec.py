@@ -34,8 +34,10 @@ from repro.baselines import dessmark_program, random_walk_program, tz_rendezvous
 from repro.core.faster_gathering import faster_gathering_program
 from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
+from repro.ext.faults import FaultPlan
 from repro.graphs.generators import by_name
 from repro.graphs.port_graph import PortGraph
+from repro.sim.activation import build_activation
 
 __all__ = [
     "RunSpec",
@@ -163,6 +165,23 @@ class RunSpec:
     stop_on_gather: bool = False
     max_rounds: Optional[int] = None
     strict: bool = True
+    #: Activation model name (:mod:`repro.sim.activation`); ``"sync"`` is
+    #: the paper's model and runs the scheduler's native hot path.
+    activation: str = "sync"
+    activation_args: Dict[str, Any] = field(default_factory=dict)
+    #: Declarative fault campaign: ``FaultPlan.to_dict()`` form, i.e.
+    #: ``{"crash": {index: round}, "delay": {index: delay}}``.
+    faults: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.faults:
+            # Normalize to FaultPlan's canonical string-key form: int and
+            # str index keys would otherwise make equivalent fault tables
+            # unequal (and differently cache-keyed), and a mixed-key table
+            # would crash sort_keys serialization with a TypeError.
+            object.__setattr__(
+                self, "faults", FaultPlan.from_dict(self.faults).to_dict()
+            )
 
     def canonical_json(self) -> str:
         """Stable serialization — the identity the cache hashes.
@@ -170,9 +189,31 @@ class RunSpec:
         Raises ``TypeError`` for specs holding non-JSON values (functions,
         objects): silently stringifying them would embed memory addresses
         and quietly break cache-key identity across processes.
+
+        The scenario fields (``activation``/``activation_args``/``faults``)
+        are omitted at their defaults, so every spec expressible before the
+        scenario layer existed keeps its exact historical cache key.
         """
-        payload = {"schema": SPEC_SCHEMA, "spec": asdict(self)}
+        spec_dict = asdict(self)
+        if spec_dict["activation"] == "sync" and not spec_dict["activation_args"]:
+            del spec_dict["activation"]
+            del spec_dict["activation_args"]
+        if not spec_dict["faults"]:
+            del spec_dict["faults"]
+        payload = {"schema": SPEC_SCHEMA, "spec": spec_dict}
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The spec's :class:`~repro.ext.faults.FaultPlan`, or ``None``."""
+        if not self.faults:
+            return None
+        return FaultPlan.from_dict(self.faults)
+
+    def is_clean(self) -> bool:
+        """Synchronous activation (no stray options) and no faults — the
+        paper's exact model.  ``sync`` with non-empty ``activation_args``
+        is not clean: it is an invalid spec ``materialize`` rejects."""
+        return self.activation == "sync" and not self.activation_args and not self.faults
 
     def resolved_seed(self, args: Dict[str, Any]) -> int:
         seed = args.get("seed", self.seed)
@@ -230,6 +271,12 @@ def materialize(spec: RunSpec):
         raise ValueError(
             f"unknown placement {spec.placement!r}; known: {sorted(PLACEMENT_BUILDERS)}"
         )
+    # raises on unknown model names and unknown/typo'd option keys (a
+    # silently ignored option would cache a mislabeled experiment)
+    build_activation(spec.activation, dict(spec.activation_args))
+    plan = spec.fault_plan()  # raises on malformed fault tables
+    if plan is not None:
+        plan.validate_for(spec.k)
     graph = by_name(spec.family, **dict(spec.graph))
     starts = PLACEMENT_BUILDERS[spec.placement](
         graph, spec.k, spec.resolved_seed(spec.placement_args), dict(spec.placement_args)
@@ -273,6 +320,9 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
             stop_on_gather=spec.stop_on_gather,
             max_rounds=spec.max_rounds,
             strict=spec.strict,
+            activation=spec.activation,
+            activation_args=dict(spec.activation_args),
+            fault_plan=spec.fault_plan(),
         )
         return RunOutcome(spec=spec, run=rec, elapsed=time.perf_counter() - start)
     except Exception as exc:

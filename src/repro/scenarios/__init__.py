@@ -1,0 +1,37 @@
+"""repro.scenarios — the declarative scenario layer.
+
+A :class:`Scenario` names a (graph family × placement × label scheme ×
+activation model × fault plan × knowledge ablation) bundle and compiles
+to :class:`repro.runtime.RunSpec` batches, so every scenario inherits
+parallel execution and result caching from the runtime engine for free.
+
+* :mod:`repro.scenarios.model` — the :class:`Scenario` dataclass and the
+  clean-twin transform fault metrics are defined against;
+* :mod:`repro.scenarios.registry` — the curated registry (crash
+  campaigns, startup delays, activation adversaries, knowledge
+  ablations) plus :func:`register_scenario` for user-defined entries.
+
+See ``docs/SCENARIOS.md`` for the model, metric definitions, and CLI
+walkthrough (``python -m repro scenarios list|describe|run``).
+"""
+
+from repro.scenarios.model import Scenario, clean_twin
+from repro.scenarios.registry import (
+    SCENARIOS,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "clean_twin",
+    "SCENARIOS",
+    "all_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

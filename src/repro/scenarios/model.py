@@ -1,0 +1,91 @@
+"""The scenario model: a named, declarative experiment bundle.
+
+A :class:`Scenario` is the unit the registry (:mod:`repro.scenarios.
+registry`) curates: a (graph family × placement × label scheme ×
+activation model × fault plan × knowledge ablation) bundle, compiled down
+to a tuple of :class:`repro.runtime.RunSpec` values.  Because the compiled
+form *is* plain ``RunSpec`` data, every scenario automatically inherits
+the runtime layer's parallel execution, failure isolation, and
+content-addressed result caching — a scenario run is just an
+``execute(scenario.specs, ...)`` call.
+
+Scenarios are frozen: compiling the same registered scenario twice yields
+byte-identical specs, hence identical cache keys (``python -m repro
+scenarios describe NAME`` prints exactly those keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Tuple
+
+from repro.runtime import RunSpec
+
+__all__ = ["Scenario", "clean_twin"]
+
+
+def clean_twin(spec: RunSpec) -> RunSpec:
+    """The same experiment in the paper's exact model: synchronous
+    activation, no faults.  Fault metrics like ``rounds_past_schedule``
+    are defined as deltas against this twin (see ``docs/SCENARIOS.md``)."""
+    return replace(spec, activation="sync", activation_args={}, faults={})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named experiment bundle that compiles to :class:`RunSpec` batches.
+
+    Attributes
+    ----------
+    name:
+        Registry key (kebab-case, what the CLI takes).
+    title:
+        One-line human summary for ``scenarios list``.
+    description:
+        What the bundle sets up and why — shown by ``scenarios describe``.
+    expectation:
+        What the rows should show (the falsifiable part: tests assert it).
+    specs:
+        The compiled, declarative runs.  Frozen so cache identity is
+        reproducible.
+    tags:
+        Free-form grouping labels (``"faults"``, ``"activation"``, ...).
+    paper:
+        Pointer into the paper (section / theorem / remark) this scenario
+        probes.
+    """
+
+    name: str
+    title: str
+    description: str
+    expectation: str
+    specs: Tuple[RunSpec, ...]
+    tags: Tuple[str, ...] = ()
+    paper: str = ""
+
+    def __post_init__(self):
+        if not self.specs:
+            raise ValueError(f"scenario {self.name!r} compiles to zero specs")
+        for spec in self.specs:
+            spec.canonical_json()  # must be hashable for cache identity
+
+    def spec_rows(self) -> Tuple[Dict[str, Any], ...]:
+        """Table-ready summaries of the compiled specs (for ``describe``)."""
+        rows = []
+        for i, s in enumerate(self.specs):
+            plan = s.fault_plan()
+            rows.append(
+                {
+                    "i": i,
+                    "algorithm": s.algorithm,
+                    "family": s.family,
+                    "n": s.graph.get("n"),
+                    "k": s.k,
+                    "placement": s.placement,
+                    "labels": s.labels,
+                    "activation": s.activation,
+                    "faults": plan.describe() if plan else "none",
+                    "knowledge": ",".join(sorted(s.knowledge)) or "none",
+                }
+            )
+        return tuple(rows)

@@ -1,0 +1,419 @@
+"""The curated scenario registry.
+
+Each entry bundles one of the paper's "alternative settings" (§1.4) — or
+one of its explicit model knobs — into a named, declarative, cache-stable
+experiment.  ``python -m repro scenarios list`` enumerates them;
+``python -m repro sweep --scenario NAME`` runs one through the runtime
+engine.  Third-party code can add its own via :func:`register_scenario`
+(registration is per-process, like ``repro.runtime.register_algorithm``).
+
+Curation rules (enforced by ``tests/test_scenarios.py``):
+
+* every compiled spec **completes** — breakage manifests as flagged
+  metrics (``mis_detected``, ``stranded``, ``detected=False``), never as a
+  raised exception, so every run lands in the result cache and repeated
+  sweeps are fully cached;
+* every spec pins its seeds, so rows are bit-stable across machines;
+* expectations are falsifiable and asserted by the test suite.
+
+The interesting negative space is documented too: the oblivious schedules
+of ``Undispersed-Gathering``/``Faster-Gathering`` do not merely *degrade*
+under weak activation or mid-exploration crashes — their token-map
+construction detects the inconsistency and raises.  Scenarios therefore
+pair fault campaigns with the configurations where the failure is a
+*measurable mis-detection* (the paper's impossibility argument made
+concrete), and use the detection-free baselines to probe activation
+adversaries, which no oblivious schedule survives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import bounds
+from repro.runtime import RunSpec
+from repro.scenarios.model import Scenario
+
+__all__ = [
+    "SCENARIOS",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+]
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (``replace=True`` to overwrite)."""
+    if scenario.name in SCENARIOS and not replace:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> None:
+    SCENARIOS.pop(name, None)
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        )
+    return SCENARIOS[name]
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def all_scenarios() -> List[Scenario]:
+    return [SCENARIOS[name] for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------------
+# Curated entries
+# ---------------------------------------------------------------------------
+
+#: Undispersed placement on ring(8) with seed 8 puts robots at
+#: ``[5, 3, 3]`` — index 0 is the lone waiter, indices 1–2 the co-located
+#: pair.  Several fault scenarios below rely on that geometry.
+_WAITER_SEED = 8
+_R8 = bounds.undispersed_rounds(8)
+
+
+def _undispersed_ring8(**overrides) -> RunSpec:
+    base = dict(
+        algorithm="undispersed",
+        family="ring",
+        graph={"n": 8},
+        placement="undispersed",
+        k=3,
+        placement_args={"seed": _WAITER_SEED},
+        labels_args={"seed": _WAITER_SEED},
+        uses_uxs=False,
+        max_rounds=100_000,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+register_scenario(Scenario(
+    name="clean-sync",
+    title="Paper model baseline: Faster-Gathering, synchronous, fault-free",
+    description=(
+        "Faster-Gathering on rings in the n³ regime (k = ⌊n/2⌋+1, "
+        "adversarial scatter), exactly the model every theorem assumes: "
+        "simultaneous start, fully synchronous activation, no faults.  "
+        "The control group every other scenario is measured against."
+    ),
+    expectation="Every run gathers with detection; rounds grow ~n³.",
+    specs=tuple(
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": n},
+            placement="scatter",
+            k=n // 2 + 1,
+            placement_args={"seed": 1},
+            labels_args={"seed": n},
+        )
+        for n in (8, 10, 12)
+    ),
+    tags=("baseline", "clean"),
+    paper="Theorems 12/16",
+))
+
+register_scenario(Scenario(
+    name="delayed-start",
+    title="Startup delays: uniform shift is safe, asymmetric delay breaks",
+    description=(
+        "The paper assumes all robots wake at round 0 and names arbitrary "
+        "wake-ups as future work.  Two campaigns on the same ring(8) "
+        "instance: a uniform +11 delay for everyone (the whole schedule "
+        "shifts, detection survives) and a waiter delayed past the full "
+        "schedule (the survivors terminate on time without it — a clean "
+        "mis-detection, no crash needed)."
+    ),
+    expectation=(
+        "Uniform delay: detected, rounds = clean + delay + 1.  Asymmetric "
+        "delay: detected=False, mis_detected=True, stranded=1."
+    ),
+    specs=(
+        _undispersed_ring8(faults={"delay": {"0": 11, "1": 11, "2": 11}}),
+        _undispersed_ring8(faults={"delay": {"0": _R8 + 5}}),
+    ),
+    tags=("faults", "delay"),
+    paper="§1.4 / conclusion (simultaneous start assumption)",
+))
+
+register_scenario(Scenario(
+    name="single-crash-waiter",
+    title="One crashed waiter poisons detection; a late crash is harmless",
+    description=(
+        "Crash-fault model: the robot terminates in place, physically "
+        "present but inert — a dead waiter looks identical to a live one "
+        "whose schedule says 'wait'.  Campaign one kills the lone waiter "
+        "at round 1: the pair completes its oblivious schedule and "
+        "terminates believing gathering succeeded.  Campaign two schedules "
+        "the same crash after the run ends: nothing happens."
+    ),
+    expectation=(
+        "Early crash: detected=False, mis_detected=True, crashed=1.  "
+        "Late crash: detected=True, crashed=0."
+    ),
+    specs=(
+        _undispersed_ring8(faults={"crash": {"0": 1}}),
+        _undispersed_ring8(faults={"crash": {"0": 50_000}}),
+    ),
+    tags=("faults", "crash"),
+    paper="§1.4 (fault-free assumption); impossibility of crash-tolerant detection",
+))
+
+register_scenario(Scenario(
+    name="crash-storm",
+    title="Multiple crashes at staggered rounds strand the survivors",
+    description=(
+        "Fault campaigns with several victims: three of four UXS-Gathering "
+        "explorers die at rounds 10/20/30, and two of four "
+        "Undispersed-Gathering robots die in the opening rounds.  The "
+        "survivors' schedules run to completion regardless — the "
+        "fault metrics count who mis-detected and who was stranded where."
+    ),
+    expectation=(
+        "Both runs complete with detected=False, mis_detected=True, "
+        "stranded >= 1, crashed >= 1."
+    ),
+    specs=(
+        RunSpec(
+            algorithm="uxs",
+            family="ring",
+            graph={"n": 8},
+            placement="dispersed",
+            k=4,
+            placement_args={"seed": 2},
+            labels_args={"seed": 2},
+            max_rounds=300_000,
+            faults={"crash": {"0": 10, "1": 20, "2": 30}},
+        ),
+        _undispersed_ring8(
+            k=4,
+            placement_args={"seed": 5},
+            labels_args={"seed": 5},
+            faults={"crash": {"0": 1, "3": 2}},
+        ),
+    ),
+    tags=("faults", "crash"),
+    paper="§1.4 (fault-free assumption)",
+))
+
+register_scenario(Scenario(
+    name="adversarial-activation",
+    title="Starve-longest adversary: one activation per round",
+    description=(
+        "A deterministic adversary activates the single due robot it has "
+        "starved the longest (the fewest activations the model permits).  "
+        "The paper's oblivious schedules do not survive this regime — "
+        "their token-map construction detects the desync and aborts — so "
+        "this scenario measures the schedule-free baselines, which stay "
+        "live under any fair activation: gathering still happens, never "
+        "with detection, and the meeting time can move in *either* "
+        "direction — the random walkers meet later, while the TZ pair "
+        "meets sooner because a starved robot is a sitting target for "
+        "the one robot the adversary lets move."
+    ),
+    expectation=(
+        "All runs gather (stop_on_gather) with detected=False; "
+        "rounds_past_schedule is non-zero in both directions."
+    ),
+    specs=(
+        RunSpec(
+            algorithm="random_walk",
+            family="ring",
+            graph={"n": 12},
+            placement="dispersed",
+            k=3,
+            placement_args={"seed": 4},
+            labels_args={"seed": 4},
+            algorithm_args={"seed": 4},
+            uses_uxs=False,
+            stop_on_gather=True,
+            max_rounds=500_000,
+            activation="adversarial",
+            activation_args={"budget": 1},
+        ),
+        RunSpec(
+            algorithm="tz",
+            family="ring",
+            graph={"n": 8},
+            placement="dispersed",
+            k=2,
+            placement_args={"seed": 3},
+            labels_args={"seed": 3},
+            stop_on_gather=True,
+            max_rounds=500_000,
+            activation="adversarial",
+            activation_args={"budget": 1},
+        ),
+    ),
+    tags=("activation", "adversary"),
+    paper="§1.4 (synchronous activation assumption)",
+))
+
+register_scenario(Scenario(
+    name="semi-sync-round-robin",
+    title="Semi-synchronous activation: label-rank groups take turns",
+    description=(
+        "The classical semi-synchronous weakening: robots are split into "
+        "activation groups that act in rotation, one group per round.  "
+        "Run on the schedule-free baselines (the oblivious schedules "
+        "abort under any non-synchronous activation, see "
+        "adversarial-activation)."
+    ),
+    expectation="Runs gather with detected=False, slower than synchronous.",
+    specs=(
+        RunSpec(
+            algorithm="random_walk",
+            family="ring",
+            graph={"n": 8},
+            placement="dispersed",
+            k=3,
+            placement_args={"seed": 3},
+            labels_args={"seed": 3},
+            algorithm_args={"seed": 3},
+            uses_uxs=False,
+            stop_on_gather=True,
+            max_rounds=500_000,
+            activation="round-robin",
+            activation_args={"groups": 2},
+        ),
+        RunSpec(
+            algorithm="random_walk",
+            family="ring",
+            graph={"n": 12},
+            placement="dispersed",
+            k=4,
+            placement_args={"seed": 6},
+            labels_args={"seed": 6},
+            algorithm_args={"seed": 6},
+            uses_uxs=False,
+            stop_on_gather=True,
+            max_rounds=500_000,
+            activation="round-robin",
+            activation_args={"groups": 3},
+        ),
+    ),
+    tags=("activation", "semi-sync"),
+    paper="§1.4 (synchronous activation assumption)",
+))
+
+register_scenario(Scenario(
+    name="ring-worst-case",
+    title="Adversarial labels on the ring: longest bit-schedules",
+    description=(
+        "The ring is the paper's running worst case, and label bit-length "
+        "drives every schedule.  Same n³-regime instance twice: once with "
+        "adversarial_long labels (all labels near n², maximal equal bit "
+        "lengths) and once with compact labels (1..k, shortest possible) — "
+        "the adversary's best and worst label draws."
+    ),
+    expectation=(
+        "Both detected; the adversarial_long run needs at least as many "
+        "rounds as the compact one."
+    ),
+    specs=tuple(
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": 12},
+            placement="scatter",
+            k=7,
+            placement_args={"seed": 1},
+            labels=labels,
+            labels_args={"seed": 2},
+        )
+        for labels in ("adversarial_long", "compact")
+    ),
+    tags=("baseline", "labels", "worst-case"),
+    paper="Lemma 15 / Theorem 16 (n³ regime)",
+))
+
+register_scenario(Scenario(
+    name="max-degree-knowledge",
+    title="Knowledge ablation: granting Δ (Remark 14)",
+    description=(
+        "Remark 14: if robots know the maximum degree Δ, the hop-meeting "
+        "schedules shrink.  Same dispersed ring(10) pair with and without "
+        "the grant — the knowledge enters both the robots' context and the "
+        "schedule arithmetic."
+    ),
+    expectation=(
+        "Both detected; the Δ-knowing run terminates in no more rounds "
+        "than the oblivious one."
+    ),
+    specs=(
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": 10},
+            placement="dispersed",
+            k=2,
+            placement_args={"seed": 5},
+            labels_args={"seed": 5},
+            algorithm_args={"max_degree": 2},
+            knowledge={"max_degree": 2},
+        ),
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": 10},
+            placement="dispersed",
+            k=2,
+            placement_args={"seed": 5},
+            labels_args={"seed": 5},
+        ),
+    ),
+    tags=("knowledge", "ablation"),
+    paper="Remark 14",
+))
+
+register_scenario(Scenario(
+    name="hop-distance-knowledge",
+    title="Knowledge ablation: granting the initial distance (Remark 13)",
+    description=(
+        "Remark 13: robots that know their initial hop distance i can skip "
+        "straight to the i-Hop-Meeting stage.  A distance-2 pair on "
+        "ring(10), with and without the grant."
+    ),
+    expectation=(
+        "Both detected; the distance-knowing run terminates in no more "
+        "rounds than the oblivious one."
+    ),
+    specs=(
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": 10},
+            placement="pair-distance",
+            k=2,
+            placement_args={"seed": 3, "distance": 2},
+            labels_args={"seed": 3},
+            algorithm_args={"hop_distance": 2},
+            knowledge={"hop_distance": 2},
+        ),
+        RunSpec(
+            algorithm="faster",
+            family="ring",
+            graph={"n": 10},
+            placement="pair-distance",
+            k=2,
+            placement_args={"seed": 3, "distance": 2},
+            labels_args={"seed": 3},
+        ),
+    ),
+    tags=("knowledge", "ablation"),
+    paper="Remark 13",
+))

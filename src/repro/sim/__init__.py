@@ -26,6 +26,13 @@ co-located cards — exactly the information the model grants.
 """
 
 from repro.sim.actions import Action, Observation
+from repro.sim.activation import (
+    ActivationModel,
+    AdversarialActivation,
+    RoundRobinActivation,
+    SynchronousActivation,
+    build_activation,
+)
 from repro.sim.robot import RobotContext, RobotSpec
 from repro.sim.world import World, RunResult
 from repro.sim.errors import (
@@ -39,6 +46,11 @@ from repro.sim.trace import TraceRecorder, Event
 __all__ = [
     "Action",
     "Observation",
+    "ActivationModel",
+    "SynchronousActivation",
+    "RoundRobinActivation",
+    "AdversarialActivation",
+    "build_activation",
     "RobotContext",
     "RobotSpec",
     "World",

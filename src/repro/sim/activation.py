@@ -1,0 +1,194 @@
+"""Pluggable activation models — who gets to act in a round.
+
+The paper proves its bounds in the fully synchronous model: every
+non-sleeping robot is activated in every round.  §1.4 names weaker
+activation as an "alternative setting"; this module makes the activation
+discipline a pluggable policy so scenarios can run the same algorithms
+under weaker adversaries and *measure* what breaks.
+
+A model is a small stateful object consulted once per scheduler round: it
+receives the label-ordered list of robots that are due to act (awake,
+woken, not terminated) and returns the label-ordered subset that actually
+acts this round.  Robots left out stay exactly as they are — awake,
+unobserved, eligible again next round.  Contract:
+
+* the returned list must be a (not necessarily proper) subset of ``due``
+  in the same label order — the scheduler's determinism rests on label
+  order;
+* it must be **non-empty** whenever ``due`` is non-empty — an adversary
+  that stalls every robot forever makes no progress and proves nothing
+  (the scheduler raises on a model that violates this);
+* it must be deterministic: same construction + same call sequence, same
+  selections.  Models may keep per-run state (and therefore must not be
+  shared between concurrent schedulers).
+
+``activation=None`` on the scheduler keeps the native synchronous hot
+path with zero per-round overhead; :class:`SynchronousActivation` is the
+explicit, behaviourally identical object form (used by the equivalence
+tests).  The differential suite pins that the default path is bit-identical
+to :class:`repro.sim.reference.ReferenceScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "ActivationModel",
+    "SynchronousActivation",
+    "RoundRobinActivation",
+    "AdversarialActivation",
+    "ACTIVATION_MODELS",
+    "build_activation",
+    "activation_names",
+]
+
+
+class ActivationModel:
+    """Base class: a per-run activation policy (see the module docstring)."""
+
+    name = "abstract"
+
+    def select(self, due: List[Any], round_: int) -> List[Any]:
+        """Return the label-ordered subset of ``due`` that acts this round."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SynchronousActivation(ActivationModel):
+    """The paper's model: everyone due acts.  Identical to ``activation=None``."""
+
+    name = "sync"
+
+    def select(self, due: List[Any], round_: int) -> List[Any]:
+        return due
+
+
+class RoundRobinActivation(ActivationModel):
+    """Semi-synchronous: robots are split into ``groups`` buckets by label
+    rank, and the buckets take turns, one per round.
+
+    The turn advances every round the scheduler consults the model.  If the
+    bucket whose turn it is has no due robot, the next bucket (cyclically)
+    is tried, so the model always activates someone and every robot is
+    activated infinitely often — the standard fairness condition.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, groups: int = 2):
+        if groups < 1:
+            raise ValueError("round-robin needs groups >= 1")
+        self.groups = groups
+        self._turn = 0
+
+    def select(self, due: List[Any], round_: int) -> List[Any]:
+        groups = self.groups
+        turn = self._turn
+        self._turn = turn + 1
+        if not due:
+            return due
+        for offset in range(groups):
+            bucket = (turn + offset) % groups
+            chosen = [r for r in due if r.rid % groups == bucket]
+            if chosen:
+                return chosen
+        return due  # pragma: no cover - some bucket above is non-empty
+
+    def describe(self) -> str:
+        return f"round-robin over {self.groups} label-rank groups"
+
+
+class AdversarialActivation(ActivationModel):
+    """Deterministic adversary: activates the *fewest* robots permitted.
+
+    Every round exactly ``min(budget, len(due))`` robots act — the model's
+    minimum, since an empty selection would stall the run.  The adversary
+    picks the due robots it has starved the longest (never-activated robots
+    first), breaking ties by smaller label; that choice is maximally unfair
+    round-to-round while still activating every robot infinitely often, so
+    runs remain live and the damage measured is the *activation* damage,
+    not a stall.
+    """
+
+    name = "adversarial"
+
+    def __init__(self, budget: int = 1):
+        if budget < 1:
+            raise ValueError("adversarial activation needs budget >= 1")
+        self.budget = budget
+        self._last_activated: Dict[int, int] = {}
+
+    def select(self, due: List[Any], round_: int) -> List[Any]:
+        if len(due) <= self.budget:
+            for r in due:
+                self._last_activated[r.label] = round_
+            return due
+        last = self._last_activated
+        ranked = sorted(due, key=lambda r: (last.get(r.label, -1), r.label))
+        chosen = ranked[: self.budget]
+        for r in chosen:
+            last[r.label] = round_
+        chosen.sort(key=lambda r: r.label)
+        return chosen
+
+    def describe(self) -> str:
+        return f"starve-longest adversary, budget {self.budget}/round"
+
+
+def _checked(opts: Dict[str, Any], name: str, allowed: frozenset) -> Dict[str, Any]:
+    """Reject unknown option keys: a typo'd option would otherwise run the
+    wrong experiment and cache it under the typo'd key."""
+    unknown = set(opts) - allowed
+    if unknown:
+        raise ValueError(
+            f"activation {name!r}: unknown options {sorted(unknown)}; "
+            f"allowed: {sorted(allowed) or 'none'}"
+        )
+    return opts
+
+
+def _build_sync(opts: Dict[str, Any]) -> None:
+    _checked(opts, "sync", frozenset())
+    return None
+
+
+def _build_round_robin(opts: Dict[str, Any]) -> RoundRobinActivation:
+    _checked(opts, "round-robin", frozenset({"groups"}))
+    return RoundRobinActivation(groups=opts.get("groups", 2))
+
+
+def _build_adversarial(opts: Dict[str, Any]) -> AdversarialActivation:
+    _checked(opts, "adversarial", frozenset({"budget"}))
+    return AdversarialActivation(budget=opts.get("budget", 1))
+
+
+#: ``model name -> builder(options dict)``.  ``"sync"`` builds ``None`` so
+#: the scheduler keeps its native (checked-by-differential-tests) hot path.
+ACTIVATION_MODELS: Dict[str, Callable[[Dict[str, Any]], Optional[ActivationModel]]] = {
+    "sync": _build_sync,
+    "round-robin": _build_round_robin,
+    "adversarial": _build_adversarial,
+}
+
+
+def activation_names() -> List[str]:
+    return sorted(ACTIVATION_MODELS)
+
+
+def build_activation(
+    name: str, options: Optional[Dict[str, Any]] = None
+) -> Optional[ActivationModel]:
+    """Build a fresh model instance (or ``None`` for the synchronous default).
+
+    Models are stateful per run; call this once per scheduler, never reuse
+    the instance across runs.  Unknown model names and unknown option keys
+    both raise ``ValueError``.
+    """
+    if name not in ACTIVATION_MODELS:
+        raise ValueError(
+            f"unknown activation model {name!r}; known: {activation_names()}"
+        )
+    return ACTIVATION_MODELS[name](dict(options or {}))

@@ -46,6 +46,11 @@ in ``docs/PERF.md``):
   zero per-event checks;
 * arrival tracking for ``wake_on_meet`` is skipped entirely while no such
   sleeper exists.
+
+Activation models (:mod:`repro.sim.activation`) weaken the synchronous
+discipline: when one is installed, the due-robot list is filtered through
+``model.select`` before observation.  ``activation=None`` (the default)
+skips the policy entirely, preserving the pinned synchronous semantics.
 """
 
 from __future__ import annotations
@@ -83,6 +88,7 @@ class Scheduler:
         trace: Optional[TraceRecorder] = None,
         strict: bool = False,
         replay=None,
+        activation=None,
     ):
         labels = [s.label for s in specs]
         if len(set(labels)) != len(labels):
@@ -97,6 +103,9 @@ class Scheduler:
         self.trace = trace
         self.strict = strict
         self.replay = replay
+        # Optional ActivationModel (repro.sim.activation). None keeps the
+        # native synchronous hot path: no per-round policy call at all.
+        self.activation = activation
         # Robots sorted by label: processing order == label order everywhere.
         self.robots: List[RobotState] = [
             RobotState(rid, spec, graph.n)
@@ -239,6 +248,19 @@ class Scheduler:
 
     def _step(self) -> None:
         active = self._wake_due()
+
+        if active and self.activation is not None:
+            # Weaker-than-synchronous models act here; robots not selected
+            # stay awake and unobserved until a later round.  A model that
+            # selects nobody while robots are due would stall the run
+            # forever, so that contract violation is rejected loudly.
+            selected = self.activation.select(active, self.round)
+            if not selected:
+                raise ProtocolViolation(
+                    f"activation model {self.activation.describe()!r} selected "
+                    f"no robot at round {self.round} with {len(active)} due"
+                )
+            active = selected
 
         if not active:
             nxt = self._next_wake_round()

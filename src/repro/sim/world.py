@@ -88,6 +88,7 @@ class World:
         trace: Optional[TraceRecorder] = None,
         stop_on_gather: bool = False,
         replay=None,
+        activation=None,
     ) -> RunResult:
         """Run to completion (every robot terminated) and collect results.
 
@@ -97,9 +98,18 @@ class World:
 
         ``replay`` — an optional :class:`repro.sim.replay.ReplayRecorder`
         that snapshots positions after every executed round.
+
+        ``activation`` — an optional :class:`repro.sim.activation.
+        ActivationModel` weakening the synchronous discipline; ``None``
+        keeps the paper's fully synchronous model.
         """
         sched = Scheduler(
-            self.graph, self.robots, trace=trace, strict=self.strict, replay=replay
+            self.graph,
+            self.robots,
+            trace=trace,
+            strict=self.strict,
+            replay=replay,
+            activation=activation,
         )
         metrics: RunMetrics = sched.run(max_rounds=max_rounds, stop_on_gather=stop_on_gather)
         positions = sched.positions()

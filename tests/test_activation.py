@@ -1,0 +1,161 @@
+"""Tests for the pluggable activation models (repro.sim.activation).
+
+Two obligations:
+
+* the default path is untouched — ``activation=None`` and an explicit
+  :class:`SynchronousActivation` are bit-identical (the full differential
+  suite additionally pins ``None`` against the reference scheduler);
+* the weaker models are deterministic, fair, and actually weaker — they
+  activate fewer robots per round, never zero.
+"""
+
+import pytest
+
+from repro.graphs import generators as gg
+from repro.sim.activation import (
+    ACTIVATION_MODELS,
+    AdversarialActivation,
+    RoundRobinActivation,
+    SynchronousActivation,
+    activation_names,
+    build_activation,
+)
+from repro.sim.actions import Action
+from repro.sim.errors import ProtocolViolation
+from repro.sim.robot import RobotSpec
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
+
+
+def walker(steps: int):
+    """A robot that moves through port 0 for ``steps`` activations, then
+    terminates.  Progress is per-activation, not per-round, so activation
+    scheduling is directly visible in the move counts."""
+
+    def factory(ctx):
+        def program():
+            obs = yield
+            for _ in range(steps):
+                obs = yield Action.move(0)
+            yield Action.terminate()
+
+        return program()
+
+    return factory
+
+
+def make_specs(k=4, steps=6):
+    return [RobotSpec(label=i + 1, start=i, factory=walker(steps)) for i in range(k)]
+
+
+def run_sched(activation, k=4, steps=6, trace=None):
+    sched = Scheduler(gg.ring(8), make_specs(k, steps), trace=trace, activation=activation)
+    sched.run(max_rounds=10_000)
+    return sched
+
+
+class TestSynchronousEquivalence:
+    def test_explicit_sync_model_is_bit_identical_to_none(self):
+        t_none, t_sync = TraceRecorder(), TraceRecorder()
+        a = run_sched(None, trace=t_none)
+        b = run_sched(SynchronousActivation(), trace=t_sync)
+        assert t_none.events == t_sync.events
+        assert a.positions() == b.positions()
+        assert a.round == b.round
+        assert a.metrics.as_dict() == b.metrics.as_dict()
+
+    def test_sync_registry_entry_builds_none(self):
+        assert build_activation("sync") is None
+        assert build_activation("sync", {}) is None
+
+
+class TestRoundRobin:
+    def test_groups_take_turns(self):
+        sched = run_sched(RoundRobinActivation(groups=2), k=4, steps=5)
+        # every robot got exactly its 5 moves + terminate, but spread over
+        # ~2x the rounds of the synchronous run (6 rounds)
+        assert all(r.moves == 5 for r in sched.robots)
+        assert sched.round > 6
+
+    def test_all_robots_eventually_finish(self):
+        for groups in (1, 2, 3, 4, 7):
+            sched = run_sched(RoundRobinActivation(groups=groups), k=4, steps=3)
+            assert sched.all_terminated(), groups
+
+    def test_groups_of_one_is_synchronous(self):
+        t_rr, t_sync = TraceRecorder(), TraceRecorder()
+        a = run_sched(RoundRobinActivation(groups=1), trace=t_rr)
+        b = run_sched(None, trace=t_sync)
+        assert t_rr.events == t_sync.events
+        assert a.positions() == b.positions()
+
+    def test_deterministic(self):
+        a = run_sched(RoundRobinActivation(groups=3))
+        b = run_sched(RoundRobinActivation(groups=3))
+        assert a.positions() == b.positions()
+        assert a.round == b.round
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            RoundRobinActivation(groups=0)
+
+
+class TestAdversarial:
+    def test_one_activation_per_round(self):
+        sched = run_sched(AdversarialActivation(budget=1), k=4, steps=5)
+        # 4 robots x (5 moves + 1 terminate) = 24 activations, one per round
+        assert sched.round == 24
+        assert all(r.active_rounds == 6 for r in sched.robots)
+
+    def test_fairness_no_robot_starves_forever(self):
+        sched = run_sched(AdversarialActivation(budget=1), k=5, steps=4)
+        assert sched.all_terminated()
+        assert all(r.moves == 4 for r in sched.robots)
+
+    def test_budget_caps_not_pads(self):
+        # budget larger than the robot count degrades to synchronous
+        t_adv, t_sync = TraceRecorder(), TraceRecorder()
+        a = run_sched(AdversarialActivation(budget=99), trace=t_adv)
+        b = run_sched(None, trace=t_sync)
+        assert t_adv.events == t_sync.events
+        assert a.positions() == b.positions()
+
+    def test_deterministic(self):
+        a = run_sched(AdversarialActivation(budget=2), k=5, steps=6)
+        b = run_sched(AdversarialActivation(budget=2), k=5, steps=6)
+        assert a.positions() == b.positions()
+        assert a.round == b.round
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            AdversarialActivation(budget=0)
+
+
+class TestContract:
+    def test_empty_selection_is_rejected(self):
+        class Staller(SynchronousActivation):
+            def select(self, due, round_):
+                return []
+
+        with pytest.raises(ProtocolViolation, match="selected no robot"):
+            run_sched(Staller())
+
+    def test_registry_names(self):
+        assert {"sync", "round-robin", "adversarial"} <= set(activation_names())
+        for name in ACTIVATION_MODELS:
+            model = build_activation(name)
+            assert model is None or hasattr(model, "select")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            build_activation("bogus")
+
+    def test_unknown_options_rejected(self):
+        """A typo'd option must raise, not silently run the default — it
+        would cache a mislabeled experiment under the typo'd key."""
+        with pytest.raises(ValueError, match="unknown options"):
+            build_activation("round-robin", {"gruops": 5})
+        with pytest.raises(ValueError, match="unknown options"):
+            build_activation("adversarial", {"groups": 2})
+        with pytest.raises(ValueError, match="unknown options"):
+            build_activation("sync", {"budget": 1})

@@ -1,0 +1,127 @@
+"""The docs job: documentation that cannot rot silently.
+
+Two guarantees over ``README.md`` and ``docs/*.md``:
+
+* **links resolve** — every relative Markdown link points at a file or
+  directory that exists in the repository;
+* **CLI invocations parse** — every ``python -m repro ...`` line shown in
+  a fenced code block parses against the real argument parser (flags,
+  choices, scenario names and all), and every documented subcommand
+  answers ``--help``.
+
+Prose mentions of the CLI (inline code spans) are exempt — only fenced
+shell blocks are treated as runnable.
+"""
+
+import pathlib
+import re
+import shlex
+
+import pytest
+
+from repro.cli import main, make_parser
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([ROOT / "README.md", *(ROOT / "docs").glob("*.md")])
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+CLI_LINE = re.compile(r"^\$?\s*(?:PYTHONPATH=\S+\s+)?python -m repro\s+(.*)$")
+
+
+def doc_ids():
+    return [p.relative_to(ROOT).as_posix() for p in DOC_FILES]
+
+
+def _relative_links(path: pathlib.Path):
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def _cli_invocations(path: pathlib.Path):
+    """Tokenized ``python -m repro ...`` lines from fenced code blocks."""
+    for block in FENCE.findall(path.read_text()):
+        lines = block.splitlines()
+        i = 0
+        while i < len(lines):
+            line = lines[i].rstrip()
+            while line.endswith("\\") and i + 1 < len(lines):
+                i += 1
+                line = line[:-1].rstrip() + " " + lines[i].strip()
+            match = CLI_LINE.match(line.strip())
+            if match:
+                yield shlex.split(match.group(1))
+            i += 1
+
+
+def test_docs_exist():
+    names = {p.name for p in DOC_FILES}
+    assert {"README.md", "ALGORITHMS.md", "SCENARIOS.md", "RUNTIME.md", "PERF.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=doc_ids())
+def test_relative_links_resolve(path):
+    # Resolved strictly relative to the containing file (GitHub semantics);
+    # a repo-root fallback would mask README-style links pasted into docs/.
+    missing = [
+        target
+        for target in _relative_links(path)
+        if not (path.parent / target).exists()
+    ]
+    assert not missing, f"{path.name}: broken links {missing}"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=doc_ids())
+def test_documented_cli_invocations_parse(path):
+    parser = make_parser()
+    for argv in _cli_invocations(path):
+        try:
+            parser.parse_args(argv)
+        except SystemExit as exc:  # argparse reports errors via SystemExit
+            raise AssertionError(
+                f"{path.name}: documented invocation does not parse: "
+                f"python -m repro {' '.join(argv)}"
+            ) from exc
+
+
+def documented_subcommands():
+    """Every (sub)command the docs show, as --help argv prefixes."""
+    seen = set()
+    for path in DOC_FILES:
+        for argv in _cli_invocations(path):
+            if not argv:
+                continue
+            seen.add((argv[0],))
+            # nested subcommands (scenarios list|describe|run)
+            if argv[0] == "scenarios" and len(argv) > 1:
+                seen.add((argv[0], argv[1]))
+    return sorted(seen)
+
+
+@pytest.mark.parametrize(
+    "prefix", documented_subcommands(), ids=[" ".join(c) for c in documented_subcommands()]
+)
+def test_documented_subcommand_answers_help(prefix, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([*prefix, "--help"])
+    assert exc.value.code == 0
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_scenario_names_in_docs_are_registered():
+    """Docs that name a scenario (describe/run/--scenario) must name a real
+    one — the parser test above enforces it via choices, this pins the
+    error message path stays meaningful."""
+    from repro.scenarios import scenario_names
+
+    named = set()
+    for path in DOC_FILES:
+        for argv in _cli_invocations(path):
+            if "--scenario" in argv:
+                named.add(argv[argv.index("--scenario") + 1])
+            if argv[:2] in (["scenarios", "describe"], ["scenarios", "run"]) and len(argv) > 2:
+                named.add(argv[2])
+    named.discard("NAME")  # placeholder used in prose-style examples
+    assert named <= set(scenario_names()), named - set(scenario_names())

@@ -11,8 +11,9 @@ import pytest
 from repro.core import bounds
 from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
-from repro.ext import crash_at, delayed_start
+from repro.ext import FaultPlan, crash_at, delayed_start
 from repro.graphs import generators as gg
+from repro.runtime import RunSpec, execute_spec
 from repro.sim.robot import RobotSpec
 from repro.sim.world import World
 
@@ -153,3 +154,102 @@ class TestCrashFaults:
         ]
         res = run(g, specs)
         assert res.metrics.moves_by_robot[3] == 0
+
+
+class TestFaultPlan:
+    """The declarative promotion of both wrappers (repro.ext.faults)."""
+
+    def test_from_dict_round_trips(self):
+        plan = FaultPlan.from_dict({"crash": {"2": 5, 0: 1}, "delay": {"1": 7}})
+        assert plan.crashes == ((0, 1), (2, 5))
+        assert plan.delays == ((1, 7),)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert not plan.empty and FaultPlan().empty
+
+    def test_rejects_bad_tables(self):
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            FaultPlan.from_dict({"meteor": {}})
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan.from_dict({"crash": {"-1": 4}})
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan.from_dict({"delay": {"0": -2}})
+        with pytest.raises(ValueError, match="out of range"):
+            FaultPlan.from_dict({"crash": {"3": 1}}).validate_for(2)
+
+    def test_describe_names_indices_and_rounds(self):
+        plan = FaultPlan.from_dict({"crash": {"0": 9}, "delay": {"1": 4}})
+        assert plan.describe() == "crash #0@r9; delay #1+4"
+        assert FaultPlan().describe() == "none"
+
+
+class TestCrashDelayComposition:
+    """Satellite coverage: crash_at x startup_delay on the same robots,
+    driven declaratively so the flags surface in sweep rows."""
+
+    # ring(8), k=3, seed 8 places robots at [5, 3, 3]: index 0 is the lone
+    # waiter (see repro.scenarios.registry).
+    def spec(self, **overrides):
+        base = dict(
+            algorithm="undispersed",
+            family="ring",
+            graph={"n": 8},
+            placement="undispersed",
+            k=3,
+            placement_args={"seed": 8},
+            labels_args={"seed": 8},
+            uses_uxs=False,
+            max_rounds=100_000,
+        )
+        base.update(overrides)
+        return RunSpec(**base)
+
+    def test_crashed_waiter_surfaces_in_sweep_row(self):
+        rec = execute_spec(self.spec(faults={"crash": {"0": 1}})).run_or_raise()
+        row = rec.as_row()
+        assert row["detected"] is False
+        assert row["mis_detected"] is True
+        assert row["crashed"] == 1 and row["stranded"] == 1
+
+    def test_crash_after_gather_is_harmless(self):
+        rec = execute_spec(self.spec(faults={"crash": {"0": 50_000}})).run_or_raise()
+        assert rec.detected and rec.extra["crashed"] == 0
+
+    def test_uniform_delay_preserves_detection(self):
+        delays = {"0": 11, "1": 11, "2": 11}
+        rec = execute_spec(self.spec(faults={"delay": delays})).run_or_raise()
+        assert rec.gathered and rec.detected
+        assert rec.rounds == bounds.undispersed_rounds(8) + 11 + 1
+
+    def test_delayed_then_crashed_waiter_still_flagged(self):
+        """Crash scheduled inside the delay window: the robot crashes at its
+        first activation after the delay, and detection is still poisoned."""
+        rec = execute_spec(
+            self.spec(faults={"crash": {"0": 3}, "delay": {"0": 20}})
+        ).run_or_raise()
+        assert not rec.detected
+        assert rec.extra["mis_detected"] is True
+        assert rec.extra["crashed"] == 1
+
+    def test_delay_composed_with_late_crash_keeps_detection(self):
+        """Uniform delay + crash-after-schedule: both wrappers on every
+        robot, neither fault observable — detection must survive."""
+        faults = {
+            "delay": {"0": 5, "1": 5, "2": 5},
+            "crash": {"0": 90_000, "1": 90_000, "2": 90_000},
+        }
+        rec = execute_spec(self.spec(faults=faults)).run_or_raise()
+        assert rec.gathered and rec.detected
+        assert rec.extra["crashed"] == 0
+
+    def test_wrap_order_crash_during_delay(self):
+        """Direct wrapper check: a robot whose crash round falls inside its
+        delay dies at its first activation, having never moved."""
+        g = gg.ring(6)
+        plan = FaultPlan.from_dict({"crash": {"0": 2}, "delay": {"0": 10}})
+        specs = [
+            RobotSpec(3, 0, plan.wrap(0, undispersed_gathering_program())),
+            RobotSpec(9, 1, plan.wrap(1, undispersed_gathering_program())),
+        ]
+        res = run(g, specs)
+        assert res.metrics.moves_by_robot[3] == 0
+        assert res.stats[3].get("crashed_at") == 10

@@ -1,0 +1,344 @@
+"""Tests for the scenario subsystem: registry, compilation, sweep, CLI.
+
+Pins the curation rules the registry promises (every curated spec
+completes; seeds pinned; expectations hold) and the acceptance behavior:
+``sweep --scenario`` is deterministic and fully cached on re-invocation,
+and ``scenarios describe`` prints the exact cache identities.
+"""
+
+import re
+
+import pytest
+
+from repro.analysis.sweeps import scenario_sweep
+from repro.cli import main
+from repro.runtime import ResultCache, RunSpec, execute
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    all_scenarios,
+    clean_twin,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+
+CURATED = [
+    "clean-sync",
+    "delayed-start",
+    "single-crash-waiter",
+    "crash-storm",
+    "adversarial-activation",
+    "semi-sync-round-robin",
+    "ring-worst-case",
+    "max-degree-knowledge",
+    "hop-distance-knowledge",
+]
+
+
+class TestRegistry:
+    def test_at_least_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+
+    def test_curated_names_present(self):
+        assert set(CURATED) <= set(scenario_names())
+
+    def test_compilation_is_stable(self):
+        """Same registry entry -> byte-identical specs -> same cache keys."""
+        for sc in all_scenarios():
+            keys_a = [ResultCache.key_for(s) for s in sc.specs]
+            keys_b = [ResultCache.key_for(s) for s in get_scenario(sc.name).specs]
+            assert keys_a == keys_b
+
+    def test_every_spec_pins_behavioral_seeds(self):
+        for sc in all_scenarios():
+            for spec in sc.specs:
+                assert "seed" in spec.placement_args, (sc.name, "placement seed")
+                assert "seed" in spec.labels_args, (sc.name, "labels seed")
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="clean-sync"):
+            get_scenario("nope")
+
+    def test_register_and_unregister(self):
+        sc = Scenario(
+            name="tmp-test-scenario",
+            title="t",
+            description="d",
+            expectation="e",
+            specs=(RunSpec(algorithm="faster", family="ring", graph={"n": 8}),),
+        )
+        register_scenario(sc)
+        try:
+            assert get_scenario("tmp-test-scenario") is sc
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(sc)
+        finally:
+            unregister_scenario("tmp-test-scenario")
+        assert "tmp-test-scenario" not in SCENARIOS
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError, match="zero specs"):
+            Scenario(name="x", title="t", description="d", expectation="e", specs=())
+
+    def test_clean_twin_strips_scenario_fields_only(self):
+        spec = get_scenario("single-crash-waiter").specs[0]
+        twin = clean_twin(spec)
+        assert twin.faults == {} and twin.activation == "sync"
+        assert twin.algorithm == spec.algorithm
+        assert twin.placement_args == spec.placement_args
+
+
+class TestCuration:
+    """Every curated spec completes — breakage is flagged, never raised."""
+
+    @pytest.mark.parametrize("name", CURATED)
+    def test_all_specs_complete(self, name):
+        result = execute(list(get_scenario(name).specs))
+        assert all(o.ok for o in result.outcomes), [
+            (o.error_type, o.error) for o in result.outcomes if not o.ok
+        ]
+
+
+class TestScenarioSweep:
+    def test_single_crash_waiter_expectation(self):
+        rows = scenario_sweep("single-crash-waiter")["rows"]
+        early, late = rows
+        # crashed waiter => the mis-detection surfaces in the sweep row
+        assert early["detected"] is False
+        assert early["mis_detected"] is True
+        assert early["crashed"] == 1 and early["stranded"] == 1
+        # crash-after-gather is harmless
+        assert late["detected"] is True and late["crashed"] == 0
+
+    def test_delayed_start_expectation(self):
+        rows = scenario_sweep("delayed-start")["rows"]
+        uniform, asymmetric = rows
+        # uniform delay preserves detection, costs delay + 1 rounds
+        assert uniform["detected"] is True
+        assert uniform["rounds_past_schedule"] == 11 + 1 - 1  # shift is delay rounds
+        # a waiter delayed past the schedule is never collected
+        assert asymmetric["detected"] is False and asymmetric["mis_detected"] is True
+        assert asymmetric["stranded"] == 1
+
+    def test_crash_storm_expectation(self):
+        out = scenario_sweep("crash-storm")
+        assert all(r["mis_detected"] for r in out["rows"])
+        assert out["summary"]["mis_detection_rate"] == 1.0
+        assert out["summary"]["stranded_total"] >= 2
+        assert out["summary"]["crashed_total"] >= 2
+
+    def test_clean_sync_expectation(self):
+        out = scenario_sweep("clean-sync")
+        assert all(r["detected"] for r in out["rows"])
+        assert out["summary"]["mis_detection_rate"] == 0.0
+        # clean specs are their own twins: zero delta by definition
+        assert all(r["rounds_past_schedule"] == 0 for r in out["rows"])
+
+    def test_adversarial_activation_expectation(self):
+        rows = scenario_sweep("adversarial-activation")["rows"]
+        assert all(r["gathered"] and not r["detected"] for r in rows)
+        deltas = [r["rounds_past_schedule"] for r in rows]
+        assert any(d > 0 for d in deltas) and any(d < 0 for d in deltas)
+
+    def test_knowledge_ablations_never_hurt(self):
+        for name in ("max-degree-knowledge", "hop-distance-knowledge"):
+            rows = scenario_sweep(name)["rows"]
+            granted, oblivious = rows
+            assert granted["detected"] and oblivious["detected"]
+            assert granted["rounds"] <= oblivious["rounds"], name
+
+    def test_ring_worst_case_orders_label_schemes(self):
+        rows = scenario_sweep("ring-worst-case")["rows"]
+        long_labels, compact = rows
+        assert long_labels["detected"] and compact["detected"]
+        assert long_labels["rounds"] >= compact["rounds"]
+
+    def test_twins_share_cache_with_scenario_runs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario_sweep("delayed-start", cache=cache)
+        # both delayed specs share one clean twin -> 2 scenario + 1 twin
+        first_misses = cache.misses
+        assert first_misses == 3
+        scenario_sweep("delayed-start", cache=cache)
+        assert cache.misses == first_misses  # fully cached second time
+
+    def test_twin_equal_to_sibling_spec_is_not_rerun(self, tmp_path):
+        """The natural with/without-faults pairing: the faulted spec's twin
+        IS the clean sibling, so the batch must hold 2 runs, not 3."""
+        clean = RunSpec(
+            algorithm="undispersed", family="ring", graph={"n": 8},
+            placement="undispersed", k=3,
+            placement_args={"seed": 8}, labels_args={"seed": 8},
+            uses_uxs=False, max_rounds=100_000,
+        )
+        from dataclasses import replace
+
+        faulted = replace(clean, faults={"crash": {"0": 1}})
+        register_scenario(Scenario(
+            name="tmp-pairing", title="t", description="d", expectation="e",
+            specs=(clean, faulted),
+        ))
+        try:
+            cache = ResultCache(tmp_path)
+            out = scenario_sweep("tmp-pairing", cache=cache)
+        finally:
+            unregister_scenario("tmp-pairing")
+        assert cache.misses == 2  # clean + faulted; twin reused the sibling
+        assert out["rows"][1]["rounds_past_schedule"] == 0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            scenario_sweep("bogus")
+
+
+class TestCli:
+    def test_list_shows_all(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in CURATED:
+            assert name in out
+
+    def test_describe_round_trips_cache_identity(self, capsys):
+        """The hashes `describe` prints ARE the cache keys of a fresh
+        compilation — and the filenames a cache directory would hold."""
+        assert main(["scenarios", "describe", "single-crash-waiter"]) == 0
+        out = capsys.readouterr().out
+        printed = re.findall(r"spec \d+: ([0-9a-f]{64})", out)
+        specs = get_scenario("single-crash-waiter").specs
+        assert printed == [ResultCache.key_for(s) for s in specs]
+
+    def test_describe_shows_expectation_and_specs(self, capsys):
+        assert main(["scenarios", "describe", "crash-storm"]) == 0
+        out = capsys.readouterr().out
+        assert "expectation:" in out and "compiled specs" in out
+
+    def test_run_prints_campaign_summary(self, capsys):
+        assert main(["scenarios", "run", "single-crash-waiter"]) == 0
+        out = capsys.readouterr().out
+        assert "mis-detection rate 0.50" in out
+        assert "expectation:" in out
+
+    def test_run_runtime_line_names_scenario(self, capsys, tmp_path):
+        rc = main(["scenarios", "run", "delayed-start",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "scenario=delayed-start" in capsys.readouterr().out
+
+    def test_sweep_scenario_cached_second_invocation(self, capsys, tmp_path):
+        argv = ["sweep", "--scenario", "adversarial-activation",
+                "--workers", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # 2 scenario specs + 2 distinct clean twins
+        assert "4 executed, 0 cached" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 4 cached" in second
+        # rows identical: everything except the runtime accounting line
+        strip = lambda s: [l for l in s.splitlines() if not l.startswith("runtime:")]
+        assert strip(first) == strip(second)
+
+    def test_sweep_scenario_reports_campaign_metrics(self, capsys):
+        """The README promises mis-detection rate and rounds_past_schedule
+        for `sweep --scenario` too — same campaign path as `scenarios run`."""
+        assert main(["sweep", "--scenario", "single-crash-waiter"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds_past_schedule" in out
+        assert "mis-detection rate 0.50" in out
+
+    def test_sweep_scenario_rejects_ignored_flags(self, capsys):
+        """Spec-shaping sweep flags are pinned by the registry — passing
+        them alongside --scenario must fail loudly, not silently no-op."""
+        with pytest.raises(SystemExit, match="--algorithm"):
+            main(["sweep", "--scenario", "clean-sync", "--algorithm", "uxs"])
+        with pytest.raises(SystemExit, match="--ns"):
+            main(["sweep", "--scenario", "clean-sync", "--ns", "20"])
+        with pytest.raises(SystemExit, match="--seed"):
+            main(["sweep", "--scenario", "clean-sync", "--seed", "7"])
+
+    def test_sweep_knowledge_ablation_in_runtime_line(self, capsys, tmp_path):
+        rc = main(["sweep", "--ns", "8", "--k", "2", "--max-degree", "2",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "knowledge[max_degree]=2" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scenario", "bogus"])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "describe", "bogus"])
+
+
+class TestSpecCompat:
+    def test_default_scenario_fields_keep_historical_cache_keys(self):
+        """A spec with no scenario fields serializes without them, so every
+        pre-scenario cache entry keeps its exact key."""
+        import json
+
+        spec = RunSpec(algorithm="faster", family="ring", graph={"n": 8})
+        payload = json.loads(spec.canonical_json())["spec"]
+        assert "activation" not in payload
+        assert "activation_args" not in payload
+        assert "faults" not in payload
+
+    def test_scenario_fields_enter_cache_identity_when_set(self):
+        base = RunSpec(algorithm="faster", family="ring", graph={"n": 8})
+        adv = RunSpec(algorithm="faster", family="ring", graph={"n": 8},
+                      activation="adversarial")
+        faulted = RunSpec(algorithm="faster", family="ring", graph={"n": 8},
+                          faults={"crash": {"0": 1}})
+        keys = {ResultCache.key_for(s) for s in (base, adv, faulted)}
+        assert len(keys) == 3
+
+    def test_unknown_activation_isolated_as_failure(self):
+        from repro.runtime import execute_spec
+
+        outcome = execute_spec(
+            RunSpec(algorithm="faster", family="ring", graph={"n": 8},
+                    activation="bogus")
+        )
+        assert not outcome.ok and "activation" in outcome.error
+
+    def test_misspelled_activation_option_isolated_as_failure(self):
+        from repro.runtime import execute_spec
+
+        outcome = execute_spec(
+            RunSpec(algorithm="faster", family="ring", graph={"n": 8},
+                    activation="round-robin", activation_args={"gruops": 5})
+        )
+        assert not outcome.ok and "unknown options" in outcome.error
+
+    def test_sync_with_options_is_invalid_and_not_clean(self):
+        """'sync' takes no options: a sync spec carrying args is rejected
+        (not silently run twice under two cache keys) and is not clean."""
+        from repro.runtime import execute_spec
+
+        spec = RunSpec(algorithm="faster", family="ring", graph={"n": 8},
+                       activation="sync", activation_args={"budget": 1})
+        assert not spec.is_clean()
+        outcome = execute_spec(spec)
+        assert not outcome.ok and "unknown options" in outcome.error
+
+    def test_fault_tables_normalized_to_canonical_form(self):
+        """Int keys, str keys, or a mix: equivalent fault tables must be
+        equal specs with one cache key (and never crash serialization)."""
+        base = dict(algorithm="faster", family="ring", graph={"n": 8})
+        a = RunSpec(**base, faults={"crash": {2: 1, 10: 3}})
+        b = RunSpec(**base, faults={"crash": {"2": 1, "10": 3}})
+        assert a == b
+        assert ResultCache.key_for(a) == ResultCache.key_for(b)
+        mixed = RunSpec(**base, faults={"crash": {0: 1, "2": 5}})
+        mixed.canonical_json()  # sort_keys must not see mixed key types
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            RunSpec(**base, faults={"meteor": {"0": 1}})
+
+    def test_fault_plan_out_of_range_isolated(self):
+        from repro.runtime import execute_spec
+
+        outcome = execute_spec(
+            RunSpec(algorithm="faster", family="ring", graph={"n": 8}, k=2,
+                    faults={"crash": {"5": 1}})
+        )
+        assert not outcome.ok and "out of range" in outcome.error
