@@ -1,0 +1,229 @@
+"""Sweep-runtime benchmark: graph memoization and chunked cache I/O.
+
+Measures the **runtime layer's** per-spec overhead — graph construction,
+placement, labeling, dispatch, record handling — across a ``workers=4``
+batch of 200+ specs over a small set of distinct topologies, and writes
+``BENCH_sweep.json`` with the wall-clock ratio between
+
+* ``cold``   — per-spec graph builds (``repro.runtime.graph_cache``
+  disabled), the pre-memoization behavior, and
+* ``memo``   — the per-worker graph/CSR memo enabled (the default), where
+  each worker builds each topology at most once per batch.
+
+The robot program is a minimal terminating probe, so the numbers isolate
+what the runtime layer itself costs: this is the regime — many seeds per
+topology, cheap per-run simulation — where topology rebuild cost dominates
+a sweep, and the regime the memo exists for.  Real algorithm sweeps see
+proportionally smaller wall-clock gains (their simulations amortize the
+build), but save exactly the same absolute rebuild work.
+
+A second section measures cache-file I/O: executing the same batch against
+a fresh :class:`~repro.runtime.ResultCache` with per-run write-through
+vs ``cache_chunk=32`` write-behind, and re-reading the fully-cached batch,
+reporting files written and wall-clock for each.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py            # full batch
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.runtime import (
+    ParallelExecutor,
+    ResultCache,
+    RunSpec,
+    execute,
+    graph_cache,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.sim.actions import Action
+
+__all__ = ["build_specs", "measure_executions", "measure_cache_io", "run_suite", "main"]
+
+PROBE = "sweep-bench-probe"
+
+
+def _probe_builder(opts):
+    def factory(ctx):
+        def program():
+            obs = yield  # noqa: F841 - bootstrap observation
+            yield Action.terminate()
+
+        return program()
+
+    return factory
+
+
+#: (family, graph params) — the distinct topologies of the batch.  Mixed
+#: sizes/families so the memo is exercised across keys, with
+#: ``random_regular`` dominating (its seeded build-and-check loop is the
+#: expensive one).
+TOPOLOGIES: List[tuple] = [
+    ("random_regular", {"n": 512, "d": 3, "seed": 11}),
+    ("random_regular", {"n": 512, "d": 3, "seed": 13}),
+    ("random_regular", {"n": 768, "d": 3, "seed": 11}),
+    ("random_regular", {"n": 768, "d": 3, "seed": 13}),
+    ("random_regular", {"n": 1024, "d": 3, "seed": 11}),
+    ("random_regular", {"n": 1024, "d": 3, "seed": 13}),
+    ("torus", {"rows": 32, "cols": 32}),
+    ("ring", {"n": 1024}),
+]
+
+
+def build_specs(per_topology: int) -> List[RunSpec]:
+    """``len(TOPOLOGIES) * per_topology`` probe specs, seeds varied."""
+    specs = []
+    for family, params in TOPOLOGIES:
+        for s in range(per_topology):
+            specs.append(
+                RunSpec(
+                    algorithm=PROBE,
+                    family=family,
+                    graph=dict(params),
+                    placement="dispersed",
+                    k=4,
+                    seed=s,
+                    uses_uxs=False,
+                )
+            )
+    return specs
+
+
+def _run_batch(specs, workers: int, cache=None, cache_chunk=None) -> float:
+    executor = ParallelExecutor(workers=workers, mp_context="fork")
+    t0 = time.perf_counter()
+    result = execute(specs, executor=executor, cache=cache, cache_chunk=cache_chunk)
+    dt = time.perf_counter() - t0
+    failures = [o for o in result.outcomes if not o.ok and not o.cached]
+    if failures:
+        raise AssertionError(
+            f"{len(failures)} probe specs failed: {failures[0].error_type}: "
+            f"{failures[0].error}"
+        )
+    return dt
+
+
+def measure_executions(specs, workers: int, repeats: int) -> Dict[str, object]:
+    """Cold (per-spec builds) vs memoized execution of the same batch."""
+    with graph_cache.disabled():
+        cold = min(_run_batch(specs, workers) for _ in range(repeats))
+    graph_cache.clear()
+    memo = min(_run_batch(specs, workers) for _ in range(repeats))
+    return {
+        "specs": len(specs),
+        "workers": workers,
+        "distinct_topologies": len(TOPOLOGIES),
+        "cold_seconds": cold,
+        "memo_seconds": memo,
+        "speedup": cold / memo,
+    }
+
+
+def measure_cache_io(specs, workers: int, chunk: int) -> Dict[str, object]:
+    """Write-through vs chunked write-behind against fresh caches."""
+    out: Dict[str, object] = {"chunk": chunk}
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "per-run")
+        dt = _run_batch(specs, workers, cache=cache)
+        files = sum(1 for _ in cache.root.rglob("*.json"))
+        out["write_through"] = {"seconds": dt, "files": files}
+        t0 = time.perf_counter()
+        _run_batch(specs, workers, cache=cache)
+        out["write_through"]["reread_seconds"] = time.perf_counter() - t0
+
+        cache = ResultCache(Path(tmp) / "chunked")
+        dt = _run_batch(specs, workers, cache=cache, cache_chunk=chunk)
+        files = sum(1 for _ in cache.root.rglob("*.json"))
+        out["chunked"] = {"seconds": dt, "files": files}
+        t0 = time.perf_counter()
+        _run_batch(specs, workers, cache=cache, cache_chunk=chunk)
+        out["chunked"]["reread_seconds"] = time.perf_counter() - t0
+    return out
+
+
+def run_suite(per_topology: int = 25, workers: int = 4, repeats: int = 3) -> Dict[str, object]:
+    """The full benchmark; returns the ``BENCH_sweep.json`` payload."""
+    register_algorithm(PROBE, _probe_builder, uses_uxs=False, detects=True)
+    try:
+        specs = build_specs(per_topology)
+        execution = measure_executions(specs, workers, repeats)
+        cache_io = measure_cache_io(specs, workers, chunk=32)
+    finally:
+        unregister_algorithm(PROBE)
+    return {
+        "benchmark": "sweep-runtime",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "workload": (
+            "minimal terminating probe program; numbers isolate the runtime "
+            "layer (graph build + placement + dispatch + records), the "
+            "many-seeds-per-topology regime graph memoization targets"
+        ),
+        "execution": execution,
+        "cache_io": cache_io,
+        "summary": {
+            "headline_workload": (
+                f"{execution['specs']} specs / "
+                f"{execution['distinct_topologies']} topologies, "
+                f"workers={execution['workers']}"
+            ),
+            "headline_speedup": execution["speedup"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--per-topology", type=int, default=25,
+                        help="specs per distinct topology (default 25 -> 200 specs)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny CI smoke: 3 specs per topology, 1 repeat")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.per_topology, args.repeats = 3, 1
+
+    payload = run_suite(args.per_topology, args.workers, args.repeats)
+
+    ex = payload["execution"]
+    io = payload["cache_io"]
+    print(
+        f"execution: {ex['specs']} specs over {ex['distinct_topologies']} "
+        f"topologies, workers={ex['workers']}\n"
+        f"  cold (per-spec builds): {ex['cold_seconds']:.2f}s\n"
+        f"  memoized:               {ex['memo_seconds']:.2f}s\n"
+        f"  speedup:                {ex['speedup']:.2f}x"
+    )
+    wt, ch = io["write_through"], io["chunked"]
+    print(
+        f"cache i/o (fresh cache, chunk={io['chunk']}):\n"
+        f"  write-through: {wt['files']} files, {wt['seconds']:.2f}s "
+        f"(re-read {wt['reread_seconds']:.2f}s)\n"
+        f"  chunked:       {ch['files']} files, {ch['seconds']:.2f}s "
+        f"(re-read {ch['reread_seconds']:.2f}s)"
+    )
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.out} (headline: {payload['summary']['headline_speedup']:.2f}x "
+          f"on {payload['summary']['headline_workload']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

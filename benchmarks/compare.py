@@ -1,0 +1,82 @@
+"""Compare two ``BENCH_*.json`` files and gate on headline regression.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
+
+Both files must carry the ``summary.headline_speedup`` field every
+benchmark in this repo emits (``bench_simcore.py``, ``bench_sweep.py``).
+Exits
+
+* ``0`` — current headline is within ``tolerance`` of the baseline (small
+  deltas are printed as a warning, never fatal: benchmark noise is real,
+  especially on shared CI runners);
+* ``1`` — current headline regressed by more than ``tolerance`` (default
+  10%);
+* ``2`` — a file is missing/corrupt or the benchmarks don't match.
+
+CI runs this against the committed benchmark JSON after a ``--quick``
+kernel run; see the ``perf-smoke`` job in ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Tuple
+
+__all__ = ["load_headline", "compare", "main"]
+
+
+def load_headline(path: str) -> Tuple[str, float]:
+    """``(benchmark name, headline speedup)`` from a BENCH_*.json file."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    name = payload.get("benchmark")
+    headline = payload.get("summary", {}).get("headline_speedup")
+    if not isinstance(name, str) or not isinstance(headline, (int, float)):
+        raise ValueError(f"{path}: not a benchmark payload "
+                         f"(missing benchmark/summary.headline_speedup)")
+    return name, float(headline)
+
+
+def compare(baseline: float, current: float, tolerance: float) -> Tuple[str, Optional[str]]:
+    """``(verdict, message)`` where verdict is ok | warn | regression."""
+    delta = (current - baseline) / baseline
+    msg = (f"headline speedup: baseline {baseline:.2f}x -> current {current:.2f}x "
+           f"({delta:+.1%})")
+    if delta < -tolerance:
+        return "regression", f"REGRESSION beyond {tolerance:.0%} tolerance: {msg}"
+    if delta < 0:
+        return "warn", f"warning (within {tolerance:.0%} tolerance): {msg}"
+    return "ok", msg
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json to compare against")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="fractional headline regression that fails "
+                             "the check (default 0.10 = 10%%)")
+    args = parser.parse_args(argv)
+
+    try:
+        base_name, base = load_headline(args.baseline)
+        cur_name, cur = load_headline(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"compare: cannot load benchmark payloads: {exc}", file=sys.stderr)
+        return 2
+    if base_name != cur_name:
+        print(f"compare: benchmark mismatch: {base_name!r} vs {cur_name!r}",
+              file=sys.stderr)
+        return 2
+
+    verdict, message = compare(base, cur, args.tolerance)
+    print(f"[{base_name}] {message}")
+    return 1 if verdict == "regression" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.experiments import regime_for
@@ -241,6 +242,42 @@ def cmd_run(args) -> int:
     return 0 if rec.gathered or args.algorithm in NO_DETECTION else 1
 
 
+@contextmanager
+def _maybe_profile(args):
+    """cProfile context for ``sweep --profile`` (see docs/RUNTIME.md).
+
+    Yields whether profiling is on; on exit prints the top 20
+    cumulative-time entries.  Profiling forces serial in-process execution
+    so the profile actually observes the simulations; worker processes
+    would run them outside the profiler.
+    """
+    if not getattr(args, "profile", False):
+        yield False
+        return
+    import cProfile
+    import pstats
+
+    if args.workers:
+        print("--profile forces serial execution (workers ignored)\n")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield True
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print("profile: top 20 by cumulative time")
+        stats.print_stats(20)
+
+
+def _profiled_execute(args, specs, **kwargs):
+    """``execute``, optionally under cProfile (``sweep --profile``)."""
+    with _maybe_profile(args) as profiling:
+        executor = SerialExecutor() if profiling else make_executor(args)
+        return execute(specs, executor=executor, **kwargs)
+
+
 def cmd_sweep(args) -> int:
     if args.scenario:
         return _sweep_scenario(args)
@@ -249,7 +286,7 @@ def cmd_sweep(args) -> int:
         ns_args = argparse.Namespace(**vars(args))
         ns_args.n = n
         specs.append(spec_from_args(ns_args))
-    result = execute(specs, executor=make_executor(args), cache=make_cache(args))
+    result = _profiled_execute(args, specs, cache=make_cache(args))
     rows = [outcome.run_or_raise().as_row() for outcome in result.outcomes]
     print(render_table(rows, title=f"sweep: {args.algorithm} on {args.family}"))
     if len(args.ns) >= 2:
@@ -269,7 +306,7 @@ def _sweep_scenario(args) -> int:
     instead of letting the user believe their flags took effect.
     """
     defaults = vars(make_parser().parse_args(["sweep", "--scenario", args.scenario]))
-    honored = {"scenario", "workers", "cache_dir"}
+    honored = {"scenario", "workers", "cache_dir", "profile"}
     ignored = sorted(
         "--" + key.replace("_", "-")
         for key, value in vars(args).items()
@@ -326,11 +363,12 @@ def cmd_scenarios_run(args) -> int:
     # No root_seed here: curated scenarios pin every behavioral seed, and a
     # root seed would re-key each spec, divorcing the cache entries from
     # the identities `scenarios describe` prints.
-    out = scenario_sweep(
-        args.name,
-        executor=make_executor(args),
-        cache=make_cache(args),
-    )
+    with _maybe_profile(args) as profiling:
+        out = scenario_sweep(
+            args.name,
+            executor=SerialExecutor() if profiling else make_executor(args),
+            cache=make_cache(args),
+        )
     print(render_table(out["rows"], title=f"scenario: {args.name}"))
     summary = out["summary"]
     rate = summary["mis_detection_rate"]
@@ -420,6 +458,9 @@ def make_parser() -> argparse.ArgumentParser:
     ps.add_argument("--scenario", choices=scenario_names(), default=None,
                     help="run a registered scenario's spec batch instead of "
                          "building specs from the flags above")
+    ps.add_argument("--profile", action="store_true",
+                    help="run the batch under cProfile and print the top 20 "
+                         "cumulative entries (forces serial execution)")
     ps.set_defaults(fn=cmd_sweep)
 
     psc = sub.add_parser("scenarios", help="the curated scenario registry")

@@ -9,7 +9,10 @@ reports):
   execution strategies (in-process vs. chunked process-pool fan-out) with
   per-run failure isolation and deterministic seed streams;
 * :class:`ResultCache` — content-addressed on-disk cache keyed by the
-  spec's canonical hash, so repeated sweeps skip completed work;
+  spec's canonical hash, so repeated sweeps skip completed work (with
+  optional chunked multi-record files for large batches);
+* :mod:`~repro.runtime.graph_cache` — per-worker graph/CSR memoization, so
+  a batch builds each topology once instead of once per spec;
 * :func:`execute` / :func:`run_specs` — the batch API gluing it together.
 
 Serial execution is the default everywhere, keeping results bit-identical
@@ -17,6 +20,7 @@ to single-process runs; parallel execution returns the exact same outcome
 list, just faster.  See docs/RUNTIME.md for the full tour.
 """
 
+from repro.runtime import graph_cache
 from repro.runtime.api import ExecutionResult, ExecutionStats, execute, run_specs
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import (
@@ -42,6 +46,7 @@ from repro.runtime.spec import (
 )
 
 __all__ = [
+    "graph_cache",
     "RunSpec",
     "RunOutcome",
     "RunFailure",

@@ -10,6 +10,15 @@ share between concurrent processes, rsync around, or inspect by hand.
 Repeated sweeps and report regenerations hit the cache and skip the
 simulation entirely; :class:`ResultCache` counts hits/misses so callers
 can report "0 simulations executed" honestly.
+
+**Chunked aggregation** (:meth:`put_batch`): large sweeps produce hundreds
+of small records, and one file + one atomic rename per record dominates
+cache I/O.  ``put_batch`` packs many records into a single chunk file
+under ``chunks/`` (same atomic-write discipline); lookups consult the
+per-key files first and an in-memory index of all chunk files second, so
+the two layouts interoperate in one directory.  ``execute(...,
+cache_chunk=N)`` opts a batch into chunked write-behind — see
+:mod:`repro.runtime.api` for the interruption-guarantee trade-off.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ import json
 import os
 from hashlib import sha256
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.analysis.experiments import GatheringRun
 from repro.runtime.spec import RunSpec
@@ -34,6 +43,9 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        # key -> record payload from chunk files; loaded lazily, once, then
+        # kept current by put_batch
+        self._chunk_index: Optional[Dict[str, dict]] = None
 
     @staticmethod
     def key_for(spec: RunSpec) -> str:
@@ -47,15 +59,19 @@ class ResultCache:
 
         A corrupt or truncated entry (killed writer, disk trouble) is
         treated as a miss rather than an error — the run simply re-executes
-        and overwrites it.
+        and overwrites it.  Per-key files win over chunk entries (a
+        re-executed run's write-through is newer than any chunk).
         """
-        path = self._path(self.key_for(spec))
+        key = self.key_for(spec)
+        path = self._path(key)
         try:
             payload = json.loads(path.read_text())
             run = GatheringRun.from_dict(payload["record"])
         except FileNotFoundError:
-            self.misses += 1
-            return None
+            run = self._chunk_get(key)
+            if run is None:
+                self.misses += 1
+                return None
         except (json.JSONDecodeError, KeyError, TypeError, OSError):
             self.misses += 1
             return None
@@ -75,16 +91,88 @@ class ResultCache:
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
         os.replace(tmp, path)  # atomic on POSIX: readers never see a torn file
 
+    # ------------------------------------------------------------------
+    # Chunked aggregation
+    # ------------------------------------------------------------------
+    def _chunks_dir(self) -> Path:
+        return self.root / "chunks"
+
+    def _load_chunks(self) -> Dict[str, dict]:
+        """The in-memory key -> record index over every chunk file.
+
+        Built on first use by reading each chunk file once — for a
+        fully-chunked cache of N records in C chunks that is C file opens
+        instead of N, which is the read-side half of the I/O saving.
+        Corrupt chunk files are skipped (their records simply re-execute).
+        """
+        if self._chunk_index is None:
+            index: Dict[str, dict] = {}
+            for path in sorted(self._chunks_dir().glob("*.json")):
+                try:
+                    payload = json.loads(path.read_text())
+                    entries = payload["records"]
+                except (json.JSONDecodeError, KeyError, TypeError, OSError):
+                    continue
+                if isinstance(entries, dict):
+                    index.update(entries)
+            self._chunk_index = index
+        return self._chunk_index
+
+    def _chunk_get(self, key: str) -> Optional[GatheringRun]:
+        entry = self._load_chunks().get(key)
+        if entry is None:
+            return None
+        try:
+            return GatheringRun.from_dict(entry["record"])
+        except (KeyError, TypeError):
+            return None
+
+    def put_batch(self, pairs: Iterable[Tuple[RunSpec, GatheringRun]]) -> int:
+        """Persist many records as one chunk file; returns how many.
+
+        The chunk is named by the hash of its sorted keys, written with the
+        same atomic-replace discipline as per-key files, and folded into
+        the in-memory index so subsequent ``get`` calls hit without
+        touching disk.
+        """
+        records = {
+            self.key_for(spec): {
+                "spec": json.loads(spec.canonical_json()),
+                "record": run.to_dict(),
+            }
+            for spec, run in pairs
+        }
+        if not records:
+            return 0
+        chunk_key = sha256("".join(sorted(records)).encode()).hexdigest()
+        chunks = self._chunks_dir()
+        chunks.mkdir(parents=True, exist_ok=True)
+        path = chunks / f"{chunk_key}.json"
+        payload = {"chunk": chunk_key, "records": records}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        self._load_chunks().update(records)
+        return len(records)
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        per_key = sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.json"))
+        chunked = self._load_chunks()
+        # count chunk records not shadowed by a per-key file
+        extra = sum(1 for key in chunked if not self._path(key).exists())
+        return per_key + extra
 
     def __contains__(self, spec: RunSpec) -> bool:
-        return self._path(self.key_for(spec)).exists()
+        key = self.key_for(spec)
+        return self._path(key).exists() or key in self._load_chunks()
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = 0
-        for entry in self.root.glob("*/*.json"):
+        """Delete every entry; returns how many records were removed."""
+        removed = len(self)
+        for entry in self.root.glob("[0-9a-f][0-9a-f]/*.json"):
             entry.unlink(missing_ok=True)
-            removed += 1
+        for entry in self._chunks_dir().glob("*.json"):
+            entry.unlink(missing_ok=True)
+        self._chunk_index = {}
         return removed

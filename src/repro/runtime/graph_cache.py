@@ -1,0 +1,99 @@
+"""Per-process graph/CSR memoization for sweep execution.
+
+A sweep batch typically names a handful of distinct topologies and many
+seeds/configurations per topology, yet :func:`repro.runtime.spec.materialize`
+historically rebuilt the :class:`~repro.graphs.port_graph.PortGraph` (and,
+lazily, its compiled CSR form) once per :class:`RunSpec`.  Graph
+construction is pure — ``(family, params)`` determines the graph bit for
+bit (generators derive randomness from explicit seeds in ``params``) — and
+``PortGraph`` is immutable by convention, so the build can be shared.
+
+:func:`graph_for` is that share point: a keyed, bounded, per-process memo.
+Each executor worker process holds its own (no cross-process coordination,
+no pickling of graphs); with the chunked dispatch of
+:class:`~repro.runtime.executor.ParallelExecutor`, every worker builds each
+topology at most once per batch and every spec after the first reuses both
+the adjacency and the lazily-compiled CSR kernel.
+
+``benchmarks/bench_sweep.py`` measures the wall-clock effect and writes
+``BENCH_sweep.json``; :func:`disabled` is the benchmark's (and any
+debugging session's) escape hatch.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.graphs.generators import by_name
+from repro.graphs.port_graph import PortGraph
+
+__all__ = ["graph_for", "cache_info", "clear", "disabled", "MAX_ENTRIES"]
+
+#: Retained graphs per process.  Sweeps rarely touch more than a few dozen
+#: distinct topologies; eviction is FIFO (dict insertion order), which for
+#: the executor's chunk-ordered workloads behaves like LRU at a fraction of
+#: the bookkeeping.
+MAX_ENTRIES = 64
+
+_cache: Dict[Tuple[str, str], PortGraph] = {}
+_hits = 0
+_misses = 0
+_enabled = True
+
+
+def _key(family: str, params: Dict[str, Any]) -> Tuple[str, str]:
+    return (family, json.dumps(params, sort_keys=True, separators=(",", ":")))
+
+
+def graph_for(family: str, params: Dict[str, Any]) -> PortGraph:
+    """The memoized graph for ``family(**params)``.
+
+    Returns the *shared* instance — callers must treat it as immutable
+    (``PortGraph`` already promises that).  Falls back to a fresh build
+    when memoization is disabled or the params refuse to serialize
+    (non-JSON values cannot key a cache safely).
+    """
+    global _hits, _misses
+    if not _enabled:
+        return by_name(family, **params)
+    try:
+        key = _key(family, params)
+    except TypeError:
+        return by_name(family, **params)
+    graph = _cache.get(key)
+    if graph is not None:
+        _hits += 1
+        return graph
+    _misses += 1
+    graph = by_name(family, **params)
+    if len(_cache) >= MAX_ENTRIES:
+        _cache.pop(next(iter(_cache)))
+    _cache[key] = graph
+    return graph
+
+
+def cache_info() -> Dict[str, int]:
+    """``{"hits", "misses", "size"}`` for this process's memo."""
+    return {"hits": _hits, "misses": _misses, "size": len(_cache)}
+
+
+def clear() -> None:
+    """Drop every memoized graph and reset the counters."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Temporarily build every graph from scratch (benchmark baseline)."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous

@@ -35,8 +35,8 @@ from repro.core.faster_gathering import faster_gathering_program
 from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
 from repro.ext.faults import FaultPlan
-from repro.graphs.generators import by_name
 from repro.graphs.port_graph import PortGraph
+from repro.runtime.graph_cache import graph_for
 from repro.sim.activation import build_activation
 
 __all__ = [
@@ -277,7 +277,9 @@ def materialize(spec: RunSpec):
     plan = spec.fault_plan()  # raises on malformed fault tables
     if plan is not None:
         plan.validate_for(spec.k)
-    graph = by_name(spec.family, **dict(spec.graph))
+    # per-process memo: a batch naming few topologies and many seeds builds
+    # each graph (and its compiled CSR) once per worker, not once per spec
+    graph = graph_for(spec.family, dict(spec.graph))
     starts = PLACEMENT_BUILDERS[spec.placement](
         graph, spec.k, spec.resolved_seed(spec.placement_args), dict(spec.placement_args)
     )

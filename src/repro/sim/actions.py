@@ -47,6 +47,7 @@ class Action:
 
     __slots__ = (
         "kind",
+        "hot_kind",
         "port",
         "target",
         "wake_round",
@@ -68,6 +69,11 @@ class Action:
         note: Optional[str] = None,
     ):
         self.kind = kind
+        # Precomputed dispatch token for the scheduler's hot loop: the kind
+        # when the action carries no card and no note (the overwhelmingly
+        # common case), -1 otherwise.  One comparison there replaces a
+        # card check plus a note check per activation.
+        self.hot_kind = kind if card is None and note is None else -1
         self.port = port
         self.target = target
         self.wake_round = wake_round
@@ -166,6 +172,16 @@ class Action:
 
 class Observation:
     """What a robot perceives at the start of a round.
+
+    **Lifetime contract:** an observation is valid until the receiving
+    robot's next ``yield``.  The scheduler's struct-of-arrays fast path
+    keeps one observation object per robot and mutates it in place between
+    activations, so a program that stores an observation and reads it after
+    a later ``yield`` would see the *newer* round's values.  Copy the
+    fields you keep (they are plain ints and an immutable cards tuple);
+    every algorithm in this repository already follows the
+    ``obs = yield ...`` threading convention, which is safe by
+    construction.
 
     Attributes
     ----------

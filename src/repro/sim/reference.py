@@ -52,6 +52,11 @@ class ReferenceScheduler(Scheduler):
     ``__init__`` simply go unused here).
     """
 
+    #: RobotState attributes stay authoritative for the whole run; the SoA
+    #: arrays the shared ``__init__`` builds are never written, so shared
+    #: queries (``positions``, ``run``'s final sync) must not trust them.
+    _uses_soa = False
+
     # -- seed queries (linear scans; the fast path keeps counters) ------
     def all_terminated(self) -> bool:
         return all(r.status == rb.TERMINATED for r in self.robots)
@@ -59,6 +64,16 @@ class ReferenceScheduler(Scheduler):
     def all_gathered(self) -> bool:
         nodes = {r.node for r in self.robots}
         return len(nodes) == 1
+
+    def _next_wake_round(self) -> Optional[int]:
+        """Seed scan over all robots (the fast path reads its wake-schedule
+        heap instead, which seed sleep/follow branches never feed)."""
+        best: Optional[int] = None
+        for r in self.robots:
+            if r.status in (rb.SLEEPING, rb.FOLLOWING) and r.wake_round is not None:
+                if best is None or r.wake_round < best:
+                    best = r.wake_round
+        return best
 
     def _wake_due(self) -> List[RobotState]:
         """Apply due wake-ups; return the robots active this round."""

@@ -76,7 +76,18 @@ STATUS_NAMES = {ACTIVE: "active", SLEEPING: "sleeping", FOLLOWING: "following", 
 
 
 class RobotState:
-    """Scheduler-side mutable state of one robot (not robot-visible)."""
+    """Scheduler-side mutable state of one robot (not robot-visible).
+
+    Under the struct-of-arrays engine (:mod:`repro.sim.scheduler`) the hot
+    fields — ``node``, ``entry_port``, ``moves``, ``active_rounds`` — live
+    in the scheduler's flat arrays while SoA rounds run, and these
+    attributes are synchronized only at regime transitions and run
+    boundaries.  Mid-run introspection goes through
+    ``Scheduler.positions()``; after ``run()`` returns (and throughout the
+    seed :class:`~repro.sim.reference.ReferenceScheduler`) the attributes
+    are authoritative.  Cold fields (``status``, ``wake_round``, ``card``,
+    follow bookkeeping) are authoritative at all times.
+    """
 
     __slots__ = (
         "rid",
@@ -96,7 +107,6 @@ class RobotState:
         "moves",
         "active_rounds",
         "terminated_round",
-        "pending_action",
     )
 
     def __init__(self, rid: int, spec: RobotSpec, n: int):
@@ -119,7 +129,6 @@ class RobotState:
         self.moves = 0
         self.active_rounds = 0
         self.terminated_round: Optional[int] = None
-        self.pending_action: Optional[Action] = None
 
     def __repr__(self) -> str:
         return (

@@ -30,22 +30,41 @@ against :class:`repro.sim.reference.ReferenceScheduler` by
 ``tests/test_fastpath_differential.py``, and the invariants are documented
 in ``docs/PERF.md``):
 
-* graph reads go through the compiled CSR form
-  (:attr:`~repro.graphs.port_graph.PortGraph.csr`) — flat-list indexing, no
-  method calls, no tuple-of-tuples chasing;
-* node occupancy is maintained *incrementally*: per-node label-sorted
-  occupant lists updated only for the two endpoints of each move, instead
-  of rebuilding an occupants dict from all robots every round;
-* per-node card tuples are cached and invalidated only when an occupant
-  moves in/out or publishes a new card;
-* follow resolution is an iterative propagation from this round's movers
-  over a persistent reverse leader→followers index (no recursion, no
-  per-round closure), and termination cascades run as a single pass over
-  the same index;
-* tracing is hoisted: with ``trace=None`` the move-application loop carries
-  zero per-event checks;
-* arrival tracking for ``wake_on_meet`` is skipped entirely while no such
-  sleeper exists.
+The engine is **struct-of-arrays**: per-robot hot state lives in parallel
+flat lists indexed by ``rid`` (robots sorted by label, so rid order ==
+label order everywhere) — ``_pos``, ``_entry``, ``_moves``, ``_ar`` (active
+rounds),
+``_own`` (the robot's single-occupant card tuple), ``_sends`` (pre-bound
+generator ``send``), and ``_obs`` (one reusable Observation per robot,
+mutated in place — see the reuse contract in :mod:`repro.sim.actions`).
+Plain lists are deliberately chosen over ``array``/numpy: indexing an
+``array('l')`` boxes a fresh int per read, and numpy cannot help a loop
+that must call a Python generator per element (see ``docs/PERF.md``).
+
+Two regimes share those arrays:
+
+* the **SoA hot loop** (:meth:`_step_soa`) runs whenever a round needs no
+  tracing, no activation policy, has no persistent followers, no
+  ``wake_on_meet`` sleepers, and the graph has no self-loop.  It applies
+  moves *inline* during the observation sweep (legal because an
+  observation depends on other robots only through start-of-round
+  occupancy, which is read from pre-round state), detects co-location with
+  one C-level ``set(pos)`` per round instead of per-move occupancy
+  bookkeeping, and resolves the dominant "one shared node" case with a
+  closed-form duplicate extraction (``sum(pos) - sum(prev_pos_set)``).
+  Rare action kinds (sleep/follow/terminate/cards) drop into cold helpers
+  that reconstruct whatever the inline sweep skipped.
+* the **general path** (the pre-SoA incremental engine, preserved in
+  :meth:`_step_general`) handles traced runs, activation models, and
+  follower/meet rounds with per-node occupant lists and card-tuple caches.
+
+``RobotState`` attribute state is synchronized with the arrays only at
+regime transitions and run boundaries (the "facade at the trace boundary"):
+``_soa_to_states`` / ``_states_to_soa`` are O(k) and transitions are rare.
+Wake-ups are driven by a precomputed **wake schedule** — a min-heap of
+``(wake_round, rid)`` pushed at sleep/follow time — so rounds where nobody
+is due skip the per-robot wake scan entirely, and fast-forward jumps read
+the next wake round from the heap top.
 
 Activation models (:mod:`repro.sim.activation`) weaken the synchronous
 discipline: when one is installed, the due-robot list is filtered through
@@ -56,6 +75,7 @@ skips the policy entirely, preserving the pinned synchronous semantics.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import Dict, List, Optional, Tuple
 
 from repro.graphs.port_graph import PortGraph, PortGraphError
@@ -80,6 +100,11 @@ __all__ = ["Scheduler"]
 
 class Scheduler:
     """Drives a set of robot programs on a port graph until all terminate."""
+
+    #: Subclasses that keep :class:`RobotState` attributes authoritative for
+    #: the whole run (the seed :class:`~repro.sim.reference.ReferenceScheduler`)
+    #: set this to ``False``; the arrays then exist but are never trusted.
+    _uses_soa = True
 
     def __init__(
         self,
@@ -115,7 +140,7 @@ class Scheduler:
         self.round = 0
         self.metrics = RunMetrics()
 
-        # --- fast-path state (invariants in docs/PERF.md) -------------
+        # --- general-path state (invariants in docs/PERF.md) ----------
         self._csr = graph.csr
         # occupants per node, kept sorted by label (self.robots is
         # label-sorted, so the initial append order is already sorted)
@@ -123,7 +148,6 @@ class Scheduler:
         for r in self.robots:
             occ[r.node].append(r)
         self._occ = occ
-        self._occupied = sum(1 for lst in occ if lst)  # nodes holding >= 1 robot
         # cached card tuple per node; None = dirty (rebuilt on demand)
         self._cards: List[Optional[Tuple[dict, ...]]] = [None] * graph.n
         # reverse index: leader label -> persistent followers (label-sorted
@@ -134,8 +158,38 @@ class Scheduler:
         # loop skips arrival tracking entirely
         self._meet_sleepers = 0
         self._alive = len(self.robots)
-        # robots not currently ACTIVE; while zero, _wake_due skips its scan
+        # robots not currently ACTIVE (SLEEPING/FOLLOWING/TERMINATED)
         self._dormant = 0
+
+        # --- struct-of-arrays state -----------------------------------
+        nrob = len(self.robots)
+        self._nrob = nrob
+        self._labels = [r.label for r in self.robots]
+        self._pos: List[int] = [r.node for r in self.robots]
+        self._entry: List[Optional[int]] = [None] * nrob
+        self._moves: List[int] = [0] * nrob
+        self._ar: List[int] = [0] * nrob
+        self._own: List[Tuple[dict, ...]] = [(r.card,) for r in self.robots]
+        self._sends = [r.send for r in self.robots]
+        self._obs = [Observation(0, 0, None, ()) for _ in self.robots]
+        self._posset = set(self._pos)
+        self._occupied = len(self._posset)  # nodes holding >= 1 robot
+        # label-ordered rids of currently ACTIVE robots (rid order == label
+        # order); every status change maintains it
+        self._active: List[int] = list(range(nrob))
+        # active-round increments owed to every rid in _active (SoA rounds
+        # defer the per-robot += 1 until the active set changes)
+        self._ar_pending = 0
+        # the wake schedule: min-heap of (wake_round, rid), pushed at
+        # sleep/follow time; stale entries are skipped lazily on pop
+        self._wake_heap: List[Tuple[int, int]] = []
+        # rids flagged woken_early (meet arrivals, leader-terminated wakes)
+        # since the last wake processing
+        self._woken: List[int] = []
+        # whether the arrays (True) or RobotState attributes (False) are
+        # authoritative right now; flipped at regime transitions
+        self._soa_auth = type(self)._uses_soa
+        self._has_selfloop = self._csr.has_self_loop
 
         self._prime()
 
@@ -154,15 +208,73 @@ class Scheduler:
     # Queries
     # ------------------------------------------------------------------
     def positions(self) -> Dict[int, int]:
-        """label -> node, for every robot (terminated included)."""
+        """label -> node, for every robot (terminated included).
+
+        Derived straight from the position array while the SoA engine is
+        authoritative — one C-level ``zip`` instead of a per-robot
+        attribute walk (replay snapshots call this every round).
+        """
+        if self._soa_auth:
+            return dict(zip(self._labels, self._pos))
         return {r.label: r.node for r in self.robots}
 
     def all_terminated(self) -> bool:
         return self._alive == 0
 
     def all_gathered(self) -> bool:
-        nodes = {r.node for r in self.robots}
-        return len(nodes) == 1
+        # _occupied is maintained by both regimes; == 1 iff co-located
+        return self._occupied == 1
+
+    # ------------------------------------------------------------------
+    # Array <-> facade synchronization (regime transitions only)
+    # ------------------------------------------------------------------
+    def _flush_ar(self) -> None:
+        """Apply the deferred active-round increments to the ar array."""
+        pending = self._ar_pending
+        if pending:
+            ar = self._ar
+            for i in self._active:
+                ar[i] += pending
+            self._ar_pending = 0
+
+    def _sync_states(self) -> None:
+        """Copy array state onto the RobotState facades (arrays stay valid)."""
+        self._flush_ar()
+        pos = self._pos
+        entry = self._entry
+        moves = self._moves
+        ar = self._ar
+        for i, r in enumerate(self.robots):
+            r.node = pos[i]
+            r.entry_port = entry[i]
+            r.moves = moves[i]
+            r.active_rounds = ar[i]
+
+    def _soa_to_states(self) -> None:
+        """SoA -> general transition: facades + occupancy become current."""
+        self._sync_states()
+        occ: List[List[RobotState]] = [[] for _ in range(self.graph.n)]
+        for r in self.robots:  # label order => occupant lists stay sorted
+            occ[r.node].append(r)
+        self._occ = occ
+        self._cards = [None] * self.graph.n
+        self._soa_auth = False
+
+    def _states_to_soa(self) -> None:
+        """General -> SoA transition: arrays rebuilt from the facades."""
+        pos = self._pos
+        entry = self._entry
+        moves = self._moves
+        ar = self._ar
+        own = self._own
+        for i, r in enumerate(self.robots):
+            pos[i] = r.node
+            entry[i] = r.entry_port
+            moves[i] = r.moves
+            ar[i] = r.active_rounds
+            own[i] = (r.card,)
+        self._posset = set(pos)
+        self._soa_auth = True
 
     # ------------------------------------------------------------------
     # Main loop
@@ -185,6 +297,8 @@ class Scheduler:
                     ),
                 )
             self._step()
+        if self._soa_auth:
+            self._sync_states()
         self.metrics.rounds = self.round
         self.metrics.gathered_at_end = self.all_gathered()
         self.metrics.moves_by_robot = {r.label: r.moves for r in self.robots}
@@ -198,71 +312,85 @@ class Scheduler:
         return self.metrics
 
     # ------------------------------------------------------------------
-    def _wake_due(self) -> List[RobotState]:
-        """Apply due wake-ups; return the robots active this round."""
-        if self._dormant == 0:
-            # every robot is ACTIVE: nothing to wake, nothing to filter.
-            # Callers only iterate the returned list, never mutate it.
-            return self.robots
-        active = []
-        trace = self.trace
+    # Wake machinery (the precomputed wake schedule)
+    # ------------------------------------------------------------------
+    def _wake_due(self) -> List[int]:
+        """Apply due wake-ups; return the label-ordered active rid list.
+
+        Driven by the wake-schedule heap plus the woken-early list instead
+        of a per-robot scan: a round with nothing due returns the
+        maintained ``_active`` list after two O(1) checks.
+        """
         rnd = self.round
-        for r in self.robots:
+        heap = self._wake_heap
+        woken = self._woken
+        if not woken and (not heap or heap[0][0] > rnd):
+            return self._active
+        robots = self.robots
+        due_from_heap = set()
+        while heap and heap[0][0] <= rnd:
+            _, rid = heapq.heappop(heap)
+            r = robots[rid]
             status = r.status
-            if status == ACTIVE:
-                active.append(r)
-            elif status == SLEEPING:
-                due = r.wake_round is not None and rnd >= r.wake_round
-                if due or r.woken_early:
-                    if r.wake_on_meet:
-                        self._meet_sleepers -= 1
-                    self._dormant -= 1
-                    r.status = ACTIVE
-                    r.woken_early = False
-                    r.wake_round = None
-                    r.wake_on_meet = False
-                    if trace is not None:
-                        trace.record(rnd, "wake", r.label, "due" if due else "meet")
-                    active.append(r)
-            elif status == FOLLOWING:
-                due = r.wake_round is not None and rnd >= r.wake_round
-                if due or r.woken_early:
-                    # woken_early is set when the leader terminated with
-                    # on_leader_terminate="wake"
-                    self._unfollow(r)
-                    self._dormant -= 1
-                    r.status = ACTIVE
-                    r.leader_label = None
-                    r.woken_early = False
-                    r.wake_round = None
-                    active.append(r)
+            if (
+                (status == SLEEPING or status == FOLLOWING)
+                and r.wake_round is not None
+                and r.wake_round <= rnd
+            ):
+                due_from_heap.add(rid)
+        due = due_from_heap
+        if woken:
+            for rid in woken:
+                status = robots[rid].status
+                if status == SLEEPING or status == FOLLOWING:
+                    due.add(rid)
+            self._woken = []
+        if not due:
+            return self._active
+        self._flush_ar()
+        trace = self.trace
+        active = self._active
+        for rid in sorted(due):
+            r = robots[rid]
+            if r.status == SLEEPING:
+                was_due = r.wake_round is not None and rnd >= r.wake_round
+                if r.wake_on_meet:
+                    self._meet_sleepers -= 1
+                self._dormant -= 1
+                r.status = ACTIVE
+                r.woken_early = False
+                r.wake_round = None
+                r.wake_on_meet = False
+                if trace is not None:
+                    trace.record(rnd, "wake", r.label, "due" if was_due else "meet")
+                insort(active, rid)
+            else:  # FOLLOWING: timer or leader-terminated ("wake" mode)
+                self._unfollow(r)
+                self._dormant -= 1
+                r.status = ACTIVE
+                r.leader_label = None
+                r.woken_early = False
+                r.wake_round = None
+                insort(active, rid)
         return active
 
     def _next_wake_round(self) -> Optional[int]:
-        best: Optional[int] = None
-        for r in self.robots:
-            if r.status in (SLEEPING, FOLLOWING) and r.wake_round is not None:
-                if best is None or r.wake_round < best:
-                    best = r.wake_round
-        return best
+        """Earliest scheduled wake round, from the wake-schedule heap."""
+        heap = self._wake_heap
+        robots = self.robots
+        while heap:
+            wr, rid = heap[0]
+            r = robots[rid]
+            if (r.status == SLEEPING or r.status == FOLLOWING) and r.wake_round == wr:
+                return wr
+            heapq.heappop(heap)  # stale entry (woken early / re-slept)
+        return None
 
+    # ------------------------------------------------------------------
     def _step(self) -> None:
-        active = self._wake_due()
+        active_rids = self._wake_due()
 
-        if active and self.activation is not None:
-            # Weaker-than-synchronous models act here; robots not selected
-            # stay awake and unobserved until a later round.  A model that
-            # selects nobody while robots are due would stall the run
-            # forever, so that contract violation is rejected loudly.
-            selected = self.activation.select(active, self.round)
-            if not selected:
-                raise ProtocolViolation(
-                    f"activation model {self.activation.describe()!r} selected "
-                    f"no robot at round {self.round} with {len(active)} due"
-                )
-            active = selected
-
-        if not active:
+        if not active_rids:
             nxt = self._next_wake_round()
             if nxt is None:
                 statuses = ", ".join(
@@ -275,6 +403,472 @@ class Scheduler:
                 self.trace.record(self.round, "jump", None, nxt)
             self.round = max(self.round + 1, nxt)
             return
+
+        if (
+            self.activation is None
+            and self.trace is None
+            and not self._followers_of
+            and self._meet_sleepers == 0
+            and not self._has_selfloop
+        ):
+            self._step_soa(active_rids)
+            return
+        self._step_general(active_rids)
+
+    # ------------------------------------------------------------------
+    # The SoA hot loop
+    # ------------------------------------------------------------------
+    def _step_soa(self, active: List[int]) -> None:
+        if not self._soa_auth:
+            self._states_to_soa()
+        rnd = self.round
+        csr = self._csr
+        row = csr.row_offsets
+        nbr = csr.neighbor
+        ent = csr.entry_port
+        deg = csr.degree
+        pos = self._pos
+        entry = self._entry
+        mvs = self._moves
+        own = self._own
+        sends = self._sends
+        obs_l = self._obs
+        nrob = self._nrob
+
+        # --- start-of-round co-location snapshot ----------------------
+        # excess == 0: every node is singly occupied and every observation
+        # is the robot's own persistent card tuple.  excess == 1: exactly
+        # one node holds exactly two robots; extract it in closed form from
+        # the previous round's position set (no per-node bookkeeping).
+        # excess >= 2: build the shared-node card map with one O(k) sweep.
+        excess = nrob - self._occupied
+        shared_cards: Optional[Dict[int, Tuple[dict, ...]]] = None
+        if excess == 0:
+            dup = -1
+            dup_cards: Optional[Tuple[dict, ...]] = None
+        elif excess == 1:
+            dup = sum(pos) - sum(self._posset)
+            i1 = pos.index(dup)
+            i2 = pos.index(dup, i1 + 1)
+            dup_cards = (own[i1][0], own[i2][0])
+        else:
+            dup = -1
+            dup_cards = None
+            # find the `excess` duplicated slots from a C-sorted copy, then
+            # recover each shared node's label-ordered rids with C index
+            # scans — O(k log k) in C plus O(shared) in Python, instead of
+            # a per-robot Python dict build
+            sp = sorted(pos)
+            shared_cards = {}
+            remaining = excess
+            t = 0
+            last = nrob - 1
+            while remaining:
+                if sp[t] == sp[t + 1]:
+                    node = sp[t]
+                    rids = [pos.index(node)]
+                    while t < last and sp[t + 1] == node:
+                        rids.append(pos.index(node, rids[-1] + 1))
+                        t += 1
+                        remaining -= 1
+                    shared_cards[node] = tuple(own[j][0] for j in rids)
+                t += 1
+
+        # Cold actions (follow/meet-sleep) may need this round's movers,
+        # which the inline sweep does not record; keep the pre-round state
+        # so they can be reconstructed exactly (no self-loops in SoA mode,
+        # so "position changed" <=> "moved", and the entry port pins the
+        # unique edge taken).
+        prev_pos = pos[:]
+        self._ar_pending += 1
+
+        track = False
+        movers_i: List[int] = []
+        movers_p: List[int] = []
+        terminators: List[int] = []
+        followers_once: List[int] = []
+        meet_new: List[int] = []
+        # rids leaving the active set this round (sleep/follow); removal is
+        # deferred because the loop iterates self._active itself
+        deactivated: List[int] = []
+
+        if shared_cards is None:
+            for i in active:
+                node = pos[i]
+                ob = obs_l[i]
+                ob.round = rnd
+                ob.degree = dg = deg[node]
+                ob.entry_port = entry[i]
+                ob.cards = own[i] if node != dup else dup_cards
+                try:
+                    a = sends[i](ob)
+                except StopIteration:
+                    raise ProtocolViolation(
+                        f"robot {self._labels[i]}: program returned without terminating"
+                    ) from None
+                try:
+                    kind = a.hot_kind
+                except AttributeError:
+                    if a is None:
+                        raise ProtocolViolation(
+                            f"robot {self._labels[i]}: yielded None instead of an Action"
+                        ) from None
+                    raise
+                if kind == MOVE:
+                    p = a.port
+                    try:
+                        ok = 0 <= p < dg
+                    except TypeError:  # port is None
+                        ok = False
+                    if not ok:
+                        raise ProtocolViolation(
+                            f"robot {self._labels[i]}: invalid port {p} on a degree-"
+                            f"{dg} node"
+                        )
+                    j = row[node] + p
+                    pos[i] = nbr[j]
+                    entry[i] = ent[j]
+                    mvs[i] += 1
+                    if track:
+                        movers_i.append(i)
+                        movers_p.append(p)
+                elif kind != STAY:
+                    track = self._soa_cold(
+                        i, a, rnd, track,
+                        movers_i, movers_p, terminators, followers_once,
+                        meet_new, deactivated, prev_pos,
+                    )
+        else:
+            for i in active:
+                node = pos[i]
+                ob = obs_l[i]
+                ob.round = rnd
+                ob.degree = dg = deg[node]
+                ob.entry_port = entry[i]
+                cards = shared_cards.get(node)
+                ob.cards = own[i] if cards is None else cards
+                try:
+                    a = sends[i](ob)
+                except StopIteration:
+                    raise ProtocolViolation(
+                        f"robot {self._labels[i]}: program returned without terminating"
+                    ) from None
+                try:
+                    kind = a.hot_kind
+                except AttributeError:
+                    if a is None:
+                        raise ProtocolViolation(
+                            f"robot {self._labels[i]}: yielded None instead of an Action"
+                        ) from None
+                    raise
+                if kind == MOVE:
+                    p = a.port
+                    try:
+                        ok = 0 <= p < dg
+                    except TypeError:  # port is None
+                        ok = False
+                    if not ok:
+                        raise ProtocolViolation(
+                            f"robot {self._labels[i]}: invalid port {p} on a degree-"
+                            f"{dg} node"
+                        )
+                    j = row[node] + p
+                    pos[i] = nbr[j]
+                    entry[i] = ent[j]
+                    mvs[i] += 1
+                    if track:
+                        movers_i.append(i)
+                        movers_p.append(p)
+                elif kind != STAY:
+                    track = self._soa_cold(
+                        i, a, rnd, track,
+                        movers_i, movers_p, terminators, followers_once,
+                        meet_new, deactivated, prev_pos,
+                    )
+
+        if deactivated:
+            for rid in deactivated:
+                self._active.remove(rid)
+
+        # --- resolve follows (rare: only when created this round) ------
+        if followers_once or self._followers_of:
+            self._soa_resolve_follows(movers_i, movers_p, followers_once)
+
+        # --- commit occupancy ------------------------------------------
+        ps = set(pos)
+        self._posset = ps
+        self._occupied = len(ps)
+
+        # --- wake meet-sleepers created this round on arrivals ---------
+        if meet_new:
+            arrivals = {pos[j] for j in movers_i}
+            woken = self._woken
+            for rid in meet_new:
+                if pos[rid] in arrivals:
+                    self.robots[rid].woken_early = True
+                    woken.append(rid)
+
+        # --- terminations + cascade ------------------------------------
+        if terminators:
+            self._flush_ar()
+            for rid in terminators:
+                self._terminate(self.robots[rid])
+            self._cascade_terminations()
+
+        # --- bookkeeping ------------------------------------------------
+        metrics = self.metrics
+        if metrics.first_gather_round is None and self._occupied == 1:
+            metrics.first_gather_round = rnd
+        if self.replay is not None:
+            self.replay.snapshot(rnd, self.positions())
+        metrics.rounds_executed += 1
+        self.round = rnd + 1
+
+    # -- SoA cold paths -------------------------------------------------
+    def _soa_publish(self, i: int, action: Action) -> None:
+        """Card publication from the hot loop: facade + own-tuple update.
+
+        Deferred-invalidation reasoning from the general path still holds:
+        the publisher's own observation already happened, any co-located
+        robot's card tuple was snapshotted at round start, and next round
+        rebuilds from the new ``own`` tuple.
+        """
+        r = self.robots[i]
+        self._apply_card(r, action)
+        self._own[i] = (r.card,)
+
+    def _soa_reconstruct_movers(
+        self, prev_pos: List[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Recover (rid, port) for every robot that has moved this round.
+
+        Only called when a follow/meet-sleep action appears mid-sweep.  With
+        no self-loops (a SoA-mode precondition), ``pos != prev_pos`` is
+        exactly "moved", and (destination, entry port) identifies the edge
+        uniquely, hence the departure port.
+        """
+        movers_i: List[int] = []
+        movers_p: List[int] = []
+        pos = self._pos
+        entry = self._entry
+        row = self._csr.row_offsets
+        nbr = self._csr.neighbor
+        ent = self._csr.entry_port
+        for j in range(self._nrob):
+            old = prev_pos[j]
+            new = pos[j]
+            if new != old:
+                e = entry[j]
+                base = row[old]
+                for slot in range(base, row[old + 1]):
+                    if nbr[slot] == new and ent[slot] == e:
+                        movers_i.append(j)
+                        movers_p.append(slot - base)
+                        break
+        return movers_i, movers_p
+
+    def _soa_cold(
+        self,
+        i: int,
+        action: Action,
+        rnd: int,
+        track: bool,
+        movers_i: List[int],
+        movers_p: List[int],
+        terminators: List[int],
+        followers_once: List[int],
+        meet_new: List[int],
+        deactivated: List[int],
+        prev_pos: List[int],
+    ) -> bool:
+        """Everything the hot loop's one-comparison dispatch does not cover:
+        card/note-carrying moves and stays, sleeps, follows, terminates.
+
+        Returns the (possibly enabled) mover-tracking flag: follow and
+        meet-sleep actions need this round's movers, so on their first
+        appearance the movers applied so far are reconstructed and tracking
+        stays on for the rest of the sweep.  (Notes are trace-only and the
+        SoA regime never runs traced, so they are ignored here.)
+        """
+        r = self.robots[i]
+        if action.card is not None:
+            self._soa_publish(i, action)
+        kind = action.kind
+        if kind == MOVE:
+            p = action.port
+            pos = self._pos
+            node = pos[i]
+            deg = self._csr.degree
+            try:
+                ok = 0 <= p < deg[node]
+            except TypeError:  # port is None
+                ok = False
+            if not ok:
+                raise ProtocolViolation(
+                    f"robot {r.label}: invalid port {p} on a degree-"
+                    f"{deg[node]} node"
+                )
+            row = self._csr.row_offsets
+            j = row[node] + p
+            pos[i] = self._csr.neighbor[j]
+            self._entry[i] = self._csr.entry_port[j]
+            self._moves[i] += 1
+            if track:
+                movers_i.append(i)
+                movers_p.append(p)
+        elif kind == STAY:
+            pass
+        elif kind == SLEEP:
+            if action.wake_round is not None and action.wake_round <= rnd:
+                raise ProtocolViolation(
+                    f"robot {r.label}: sleep until round {action.wake_round} "
+                    f"is not in the future (now {rnd})"
+                )
+            if action.wake_round is None and not action.wake_on_meet:
+                raise ProtocolViolation(f"robot {r.label}: unwakeable forever-sleep")
+            self._flush_ar()
+            r.status = SLEEPING
+            r.wake_round = action.wake_round
+            r.wake_on_meet = action.wake_on_meet
+            self._dormant += 1
+            deactivated.append(i)
+            if action.wake_round is not None:
+                heapq.heappush(self._wake_heap, (action.wake_round, i))
+            if action.wake_on_meet:
+                self._meet_sleepers += 1
+                meet_new.append(i)
+                if not track:
+                    mi, mp = self._soa_reconstruct_movers(prev_pos)
+                    movers_i[:] = mi
+                    movers_p[:] = mp
+                    track = True
+        elif kind == FOLLOW:
+            self._soa_check_follow_target(i, action.target, prev_pos)
+            self._flush_ar()
+            r.status = FOLLOWING
+            r.leader_label = action.target
+            r.wake_round = action.wake_round
+            r.on_leader_terminate = action.on_leader_terminate
+            self._dormant += 1
+            deactivated.append(i)
+            if action.wake_round is not None:
+                heapq.heappush(self._wake_heap, (action.wake_round, i))
+            self._followers_of.setdefault(action.target, []).append(r)
+            if not track:
+                mi, mp = self._soa_reconstruct_movers(prev_pos)
+                movers_i[:] = mi
+                movers_p[:] = mp
+                track = True
+        elif kind == FOLLOW_ONCE:
+            self._soa_check_follow_target(i, action.target, prev_pos)
+            r.leader_label = action.target
+            followers_once.append(i)
+            if not track:
+                mi, mp = self._soa_reconstruct_movers(prev_pos)
+                movers_i[:] = mi
+                movers_p[:] = mp
+                track = True
+        elif kind == TERMINATE:
+            terminators.append(i)
+        else:  # pragma: no cover - factory methods make this unreachable
+            raise ProtocolViolation(f"robot {r.label}: unknown action kind {kind}")
+        return track
+
+    def _soa_check_follow_target(
+        self, rid: int, target: Optional[int], prev_pos: List[int]
+    ) -> None:
+        # strict co-location is judged on start-of-round positions (moves
+        # apply "at the end of the round"); inline application means the
+        # leader may already sit on its new node, so compare pre-round state
+        label = self._labels[rid]
+        if target is None or target not in self.by_label:
+            raise ProtocolViolation(f"robot {label}: follow target {target} unknown")
+        if target == label:
+            raise ProtocolViolation(f"robot {label}: cannot follow itself")
+        if self.strict and prev_pos[self.by_label[target].rid] != prev_pos[rid]:
+            raise ProtocolViolation(
+                f"robot {label}: follow target {target} is not co-located"
+            )
+
+    def _soa_resolve_follows(
+        self,
+        movers_i: List[int],
+        movers_p: List[int],
+        followers_once: List[int],
+    ) -> None:
+        """Follow resolution + application for SoA rounds.
+
+        Same iterative propagation as the general path: chains ending in
+        this round's movers inherit the port; everything else stays.
+        Follower moves apply after the (already-applied) movers, in label
+        order, with the same validation and partial-application semantics
+        on invalid inherited ports.
+        """
+        robots = self.robots
+        followers_of = self._followers_of
+        once_by_leader: Dict[int, List[int]] = {}
+        for fid in followers_once:
+            once_by_leader.setdefault(robots[fid].leader_label, []).append(fid)
+        assigned: List[Tuple[int, int]] = []
+        stack = [(robots[i].label, p) for i, p in zip(movers_i, movers_p)]
+        while stack:
+            label, port = stack.pop()
+            fs = followers_of.get(label)
+            if fs:
+                for f in fs:
+                    assigned.append((f.rid, port))
+                    stack.append((f.label, port))
+            fids = once_by_leader.get(label)
+            if fids:
+                for fid in fids:
+                    assigned.append((fid, port))
+                    stack.append((robots[fid].label, port))
+        for fid in followers_once:
+            robots[fid].leader_label = None
+        if not assigned:
+            return
+        assigned.sort()  # rid order == label order
+        pos = self._pos
+        entry = self._entry
+        mvs = self._moves
+        row = self._csr.row_offsets
+        nbr = self._csr.neighbor
+        ent = self._csr.entry_port
+        deg = self._csr.degree
+        for fid, port in assigned:
+            node = pos[fid]
+            if not 0 <= port < deg[node]:
+                raise PortGraphError(
+                    f"node {node} has degree {deg[node]}; port {port} is invalid"
+                )
+            slot = row[node] + port
+            pos[fid] = nbr[slot]
+            entry[fid] = ent[slot]
+            mvs[fid] += 1
+            movers_i.append(fid)
+            movers_p.append(port)
+
+    # ------------------------------------------------------------------
+    # The general path (the pre-SoA incremental engine)
+    # ------------------------------------------------------------------
+    def _step_general(self, active_rids: List[int]) -> None:
+        if self._soa_auth:
+            self._soa_to_states()
+        robots = self.robots
+        active = [robots[i] for i in active_rids]
+
+        if self.activation is not None:
+            # Weaker-than-synchronous models act here; robots not selected
+            # stay awake and unobserved until a later round.  A model that
+            # selects nobody while robots are due would stall the run
+            # forever, so that contract violation is rejected loudly.
+            selected = self.activation.select(active, self.round)
+            if not selected:
+                raise ProtocolViolation(
+                    f"activation model {self.activation.describe()!r} selected "
+                    f"no robot at round {self.round} with {len(active)} due"
+                )
+            active = selected
 
         trace = self.trace
         rnd = self.round
@@ -353,6 +947,9 @@ class Scheduler:
                 r.wake_round = action.wake_round
                 r.wake_on_meet = action.wake_on_meet
                 self._dormant += 1
+                self._active.remove(r.rid)
+                if action.wake_round is not None:
+                    heapq.heappush(self._wake_heap, (action.wake_round, r.rid))
                 if action.wake_on_meet:
                     self._meet_sleepers += 1
                 if trace is not None:
@@ -364,6 +961,9 @@ class Scheduler:
                 r.wake_round = action.wake_round
                 r.on_leader_terminate = action.on_leader_terminate
                 self._dormant += 1
+                self._active.remove(r.rid)
+                if action.wake_round is not None:
+                    heapq.heappush(self._wake_heap, (action.wake_round, r.rid))
                 self._followers_of.setdefault(action.target, []).append(r)
                 if trace is not None:
                     trace.record(rnd, "follow", r.label, action.target)
@@ -469,6 +1069,7 @@ class Scheduler:
 
         # --- wake sleepers on arrivals ---------------------------------
         if arrivals:
+            woken = self._woken
             for r in self.robots:
                 if (
                     r.status == SLEEPING
@@ -476,6 +1077,7 @@ class Scheduler:
                     and r.node in arrivals
                 ):
                     r.woken_early = True
+                    woken.append(r.rid)
 
         # --- terminations + cascade ------------------------------------
         if terminators:
@@ -519,8 +1121,8 @@ class Scheduler:
         """Apply one resolved move with full occupancy/cache bookkeeping.
 
         Cold-path helper (traced movers and follower moves); the untraced
-        mover loop in ``_step`` inlines the same logic over local bindings.
-        Returns the entry port for trace recording.
+        mover loop in ``_step_general`` inlines the same logic over local
+        bindings.  Returns the entry port for trace recording.
         """
         csr = self._csr
         old = r.node
@@ -570,10 +1172,11 @@ class Scheduler:
             self._unfollow(r)  # already counted dormant
         elif r.status == ACTIVE:
             self._dormant += 1
+            self._active.remove(r.rid)
         r.status = TERMINATED
         r.terminated_round = self.round
         self._alive -= 1
-        # terminations run after _step commits _occupied, so the O(1)
+        # terminations run after the round commits _occupied, so the O(1)
         # counter answers "all gathered" without scanning robots
         if self._occupied != 1:
             self.metrics.terminations_all_gathered = False
@@ -619,6 +1222,7 @@ class Scheduler:
                         heapq.heappush(heap, (gpass, g.label, g))
             else:  # "wake"
                 f.woken_early = True
+                self._woken.append(f.rid)
 
 
 def _moving_label(entry: Tuple[RobotState, int]) -> int:

@@ -117,12 +117,12 @@ def optimized_run(graph, starts, scripts):
     history = {}
 
     # record positions after each executed round (fast-forwarded rounds keep
-    # previous positions)
+    # previous positions); positions() is the sanctioned mid-run query —
+    # RobotState attributes sync only at run boundaries under the SoA engine
     while not sched.all_terminated():
         sched._step()
-        history[sched.round - 1] = tuple(
-            sched.by_label[l].node for l in labels
-        )
+        pos = sched.positions()
+        history[sched.round - 1] = tuple(pos[l] for l in labels)
     return history, sched
 
 

@@ -27,8 +27,13 @@ from repro.analysis.placement import (
 from repro.core.faster_gathering import faster_gathering_program
 from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
+from repro.ext.faults import FaultPlan
 from repro.graphs import generators as gg
+from repro.runtime.spec import materialize
+from repro.scenarios import get_scenario, scenario_names
+from repro.sim.activation import build_activation
 from repro.sim.actions import Action
+from repro.sim.errors import ProtocolViolation
 from repro.sim.reference import ReferenceScheduler
 from repro.sim.robot import RobotSpec
 from repro.sim.scheduler import Scheduler
@@ -51,6 +56,36 @@ def _metrics_dict(sched):
     }
 
 
+class ReferenceWithActivation(ReferenceScheduler):
+    """The seed scheduler plus the activation hook, for scenario parity.
+
+    The seed predates activation models, so its ``_step`` never consults
+    one; this test-only subclass inserts the same post-wake filter the
+    fast path applies, letting activation scenarios run differentially.
+    """
+
+    def _wake_due(self):
+        active = super()._wake_due()
+        if self.activation is not None and active:
+            selected = self.activation.select(active, self.round)
+            if not selected:
+                raise ProtocolViolation(
+                    f"activation model {self.activation.describe()!r} selected "
+                    f"no robot at round {self.round} with {len(active)} due"
+                )
+            return selected
+        return active
+
+
+def _state_digest(sched):
+    return (
+        sched.positions(),
+        sched.round,
+        {r.label: r.status for r in sched.robots},
+        _metrics_dict(sched),
+    )
+
+
 def run_both(graph, make_specs, max_rounds=200_000, stop_on_gather=False):
     """Run fast and seed schedulers on identical specs; assert bit-identity.
 
@@ -71,6 +106,33 @@ def run_both(graph, make_specs, max_rounds=200_000, stop_on_gather=False):
         r.label: r.status for r in ref.robots
     }, "status divergence"
     assert _metrics_dict(fast) == _metrics_dict(ref), "metrics divergence"
+    return fast
+
+
+def run_both_untraced(
+    graph,
+    make_specs,
+    max_rounds=200_000,
+    stop_on_gather=False,
+    strict=False,
+    activation="sync",
+    activation_args=None,
+):
+    """Differential run with ``trace=None`` — the SoA hot-loop regime.
+
+    Tracing forces the general path, so :func:`run_both` alone would never
+    execute the struct-of-arrays sweep; this variant compares everything
+    *except* traces (positions, round counter, statuses, full metrics).
+    Activation models are stateful, so each scheduler gets a fresh one.
+    """
+    digests = []
+    for cls in (Scheduler, ReferenceWithActivation):
+        model = build_activation(activation, dict(activation_args or {}))
+        sched = cls(graph, make_specs(), strict=strict, activation=model)
+        sched.run(max_rounds=max_rounds, stop_on_gather=stop_on_gather)
+        digests.append((_state_digest(sched), sched))
+    (fast_digest, fast), (ref_digest, _) = digests
+    assert fast_digest == ref_digest, "untraced state divergence"
     return fast
 
 
@@ -398,3 +460,200 @@ def test_scripted_robots_bit_identical(graph_pick, scripts, data):
         ]
 
     run_both(graph, make_specs, max_rounds=10_000)
+
+
+# ---------------------------------------------------------------------------
+# Untraced differential: the SoA hot loop on real algorithms
+# ---------------------------------------------------------------------------
+# Tracing forces the general path, so the matrix tests above never execute
+# the struct-of-arrays sweep; these repeat representative workloads with
+# trace=None and compare positions/statuses/round/metrics.
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_matrix_faster_untraced_soa(name, graph):
+    k = graph.n // 2 + 1
+    starts = dispersed_random(graph, k, seed=44)
+    labels = assign_labels(k, graph.n, seed=44)
+
+    def make_specs():
+        return [
+            RobotSpec(label=l, start=s, factory=faster_gathering_program())
+            for l, s in zip(labels, starts)
+        ]
+
+    fast = run_both_untraced(graph, make_specs)
+    assert fast.all_terminated(), name
+
+
+@pytest.mark.parametrize("name,graph", FAMILY_INSTANCES, ids=IDS)
+def test_matrix_uxs_untraced_soa(name, graph):
+    starts = dispersed_random(graph, 3, seed=43)
+    labels = assign_labels(3, graph.n, seed=43)
+
+    def make_specs():
+        return [
+            RobotSpec(label=l, start=s, factory=uxs_gathering_program())
+            for l, s in zip(labels, starts)
+        ]
+
+    fast = run_both_untraced(graph, make_specs)
+    assert fast.all_terminated(), name
+
+
+def test_follow_cascade_untraced_soa():
+    """The SoA cold paths: follow mid-sweep (mover reconstruction),
+    cascade, woken-early bookkeeping — without a trace forcing the
+    general path."""
+    g = gg.ring(8)
+
+    def leader(ctx):
+        obs = yield
+        obs = yield Action.move(0)
+        obs = yield Action.move(0)
+        yield Action.terminate()
+
+    def follower(target):
+        def prog(ctx):
+            obs = yield
+            yield Action.follow(target, on_leader_terminate="terminate")
+            return
+
+        return prog
+
+    def waker(target):
+        def prog(ctx):
+            obs = yield
+            obs = yield Action.follow(target, on_leader_terminate="wake")
+            yield Action.terminate()
+
+        return prog
+
+    def make_specs():
+        return [
+            RobotSpec(label=5, start=0, factory=leader),
+            RobotSpec(label=7, start=0, factory=follower(5)),
+            RobotSpec(label=3, start=0, factory=follower(5)),
+            RobotSpec(label=2, start=0, factory=follower(7)),
+            RobotSpec(label=6, start=0, factory=waker(3)),
+            RobotSpec(label=1, start=0, factory=follower(6)),
+        ]
+
+    fast = run_both_untraced(g, make_specs)
+    assert fast.all_terminated()
+
+
+def test_meet_sleep_mid_sweep_untraced_soa():
+    """A wake_on_meet sleep appearing mid-SoA-round must reconstruct this
+    round's earlier inline movers for arrival detection."""
+    g = gg.path(5)
+
+    def early_mover(ctx):  # label 1: moves before the sleeper acts
+        obs = yield
+        obs = yield Action.move(0)  # node 2 -> node 1
+        obs = yield Action.stay()
+        yield Action.terminate()
+
+    def meet_sleeper(ctx):  # label 2 at node 1: sleeps this same round
+        obs = yield
+        obs = yield Action.sleep(None, wake_on_meet=True)
+        yield Action.terminate()
+
+    def make_specs():
+        return [
+            RobotSpec(label=1, start=2, factory=early_mover),
+            RobotSpec(label=2, start=1, factory=meet_sleeper),
+        ]
+
+    fast = run_both_untraced(g, make_specs)
+    assert fast.all_terminated()
+
+
+# ---------------------------------------------------------------------------
+# The scenario registry, differentially (all 9 curated entries)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_scenario_registry_differential(scenario_name):
+    """Every compiled spec of every registered scenario runs bit-identical
+    (positions, statuses, round counter, metrics) on the SoA engine vs the
+    seed scheduler — activation models via the test shim, fault plans via
+    the same program wrappers both schedulers consume."""
+    scenario = get_scenario(scenario_name)
+    for spec in scenario.specs:
+        graph, starts, labels, factory_for = materialize(spec)
+        plan = spec.fault_plan()
+        factory = factory_for()
+
+        def make_specs():
+            return [
+                RobotSpec(
+                    label=l,
+                    start=s,
+                    factory=plan.wrap(i, factory) if plan is not None else factory,
+                    knowledge=dict(spec.knowledge),
+                )
+                for i, (l, s) in enumerate(zip(labels, starts))
+            ]
+
+        from repro.sim.world import DEFAULT_MAX_ROUNDS
+
+        fast = run_both_untraced(
+            graph,
+            make_specs,
+            max_rounds=spec.max_rounds if spec.max_rounds is not None else DEFAULT_MAX_ROUNDS,
+            stop_on_gather=spec.stop_on_gather,
+            strict=spec.strict,
+            activation=spec.activation,
+            activation_args=dict(spec.activation_args),
+        )
+        assert fast is not None
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random fault plans over scripted robots, bit-identical
+# ---------------------------------------------------------------------------
+
+fault_plan_strategy = st.builds(
+    lambda crash, delay: {"crash": crash, "delay": delay},
+    st.dictionaries(st.integers(0, 3), st.integers(0, 12), max_size=3),
+    st.dictionaries(st.integers(0, 3), st.integers(0, 8), max_size=3),
+)
+
+
+@given(
+    st.integers(0, 3),
+    st.lists(script_strategy, min_size=2, max_size=4),
+    fault_plan_strategy,
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_fault_plans_bit_identical(graph_pick, scripts, plan_dict, data):
+    """Crash/delay campaigns (program-level wrappers) stay bit-identical
+    across both schedulers — traced (general path) and untraced (SoA)."""
+    graph = [gg.ring(6), gg.path(5), gg.star(6), gg.erdos_renyi(7, seed=3)][graph_pick]
+    k = len(scripts)
+    plan = FaultPlan.from_dict(
+        {
+            kind: {i: v for i, v in table.items() if i < k}
+            for kind, table in plan_dict.items()
+        }
+    )
+    starts = [
+        data.draw(st.integers(0, graph.n - 1), label=f"start{i}")
+        for i in range(k)
+    ]
+
+    def make_specs():
+        return [
+            RobotSpec(
+                label=i + 1,
+                start=s,
+                factory=plan.wrap(i, scripted_factory(sc)),
+            )
+            for i, (s, sc) in enumerate(zip(starts, scripts))
+        ]
+
+    run_both(graph, make_specs, max_rounds=10_000)
+    run_both_untraced(graph, make_specs, max_rounds=10_000)

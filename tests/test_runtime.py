@@ -355,3 +355,132 @@ class TestCliRuntimeFlags:
         assert "1 executed, 0 cached" in capsys.readouterr().out
         assert main(argv) == 0
         assert "0 executed, 1 cached" in capsys.readouterr().out
+
+
+class TestGraphMemoization:
+    """Per-process graph/CSR memo behind ``materialize`` (graph_cache)."""
+
+    def setup_method(self):
+        from repro.runtime import graph_cache
+
+        graph_cache.clear()
+
+    def test_same_key_returns_shared_instance(self):
+        from repro.runtime import graph_cache
+
+        g1 = graph_cache.graph_for("ring", {"n": 12})
+        g2 = graph_cache.graph_for("ring", {"n": 12})
+        assert g1 is g2
+        info = graph_cache.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_distinct_params_distinct_graphs(self):
+        from repro.runtime import graph_cache
+
+        g1 = graph_cache.graph_for("ring", {"n": 12})
+        g2 = graph_cache.graph_for("ring", {"n": 14})
+        assert g1 is not g2 and g1.n != g2.n
+
+    def test_disabled_context_builds_fresh(self):
+        from repro.runtime import graph_cache
+
+        g1 = graph_cache.graph_for("ring", {"n": 12})
+        with graph_cache.disabled():
+            g2 = graph_cache.graph_for("ring", {"n": 12})
+        assert g1 is not g2
+
+    def test_materialize_uses_memo_and_results_unchanged(self):
+        from repro.runtime import graph_cache
+        from repro.runtime.spec import materialize
+
+        spec = RunSpec("undispersed", "ring", {"n": 10},
+                       placement="undispersed", k=3, seed=5, uses_uxs=False)
+        g1, starts1, labels1, _ = materialize(spec)
+        g2, starts2, labels2, _ = materialize(spec)
+        assert g1 is g2  # shared build
+        assert (starts1, labels1) == (starts2, labels2)
+        assert graph_cache.cache_info()["hits"] >= 1
+        # executing against the memoized graph is bit-identical to a cold build
+        hot = execute_spec(spec).run
+        with graph_cache.disabled():
+            cold = execute_spec(spec).run
+        assert hot.to_dict() == cold.to_dict()
+
+    def test_eviction_is_bounded(self):
+        from repro.runtime import graph_cache
+
+        for n in range(4, 4 + graph_cache.MAX_ENTRIES + 8):
+            graph_cache.graph_for("ring", {"n": n})
+        assert graph_cache.cache_info()["size"] <= graph_cache.MAX_ENTRIES
+
+
+class TestChunkedCache:
+    """Chunked result-record aggregation (``put_batch`` / ``cache_chunk``)."""
+
+    def test_put_batch_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = small_batch()
+        runs = [execute_spec(s).run_or_raise() for s in specs]
+        assert cache.put_batch(zip(specs, runs)) == len(specs)
+        # a single chunk file holds every record
+        assert len(list((tmp_path / "chunks").glob("*.json"))) == 1
+        assert len(cache) == len(specs)
+        for spec, run in zip(specs, runs):
+            assert spec in cache
+            assert cache.get(spec).to_dict() == run.to_dict()
+
+    def test_chunk_entries_survive_reopen(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = small_batch()
+        runs = [execute_spec(s).run_or_raise() for s in specs]
+        cache.put_batch(zip(specs, runs))
+        reopened = ResultCache(tmp_path)
+        assert execute(specs, cache=reopened).stats.cache_hits == len(specs)
+
+    def test_execute_cache_chunk_writes_chunks_not_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = small_batch()
+        result = execute(specs, cache=cache, cache_chunk=32)
+        assert result.stats.executed == len(specs)
+        per_key = list(tmp_path.glob("[0-9a-f][0-9a-f]/*.json"))
+        chunks = list((tmp_path / "chunks").glob("*.json"))
+        assert per_key == [] and len(chunks) == 1
+        # second pass: fully cached from the chunk index
+        again = execute(specs, cache=ResultCache(tmp_path), cache_chunk=32)
+        assert again.stats.cache_hits == len(specs)
+
+    def test_cache_chunk_flushes_every_n(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = small_batch()
+        assert len(specs) >= 2
+        execute(specs, cache=cache, cache_chunk=1)  # one chunk per record
+        chunks = list((tmp_path / "chunks").glob("*.json"))
+        assert len(chunks) == len(specs)
+
+    def test_per_key_file_shadows_chunk_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_batch()[0]
+        run = execute_spec(spec).run_or_raise()
+        cache.put_batch([(spec, run)])
+        cache.put(spec, run)  # re-executed write-through wins
+        assert len(cache) == 1
+        assert cache.get(spec).to_dict() == run.to_dict()
+
+    def test_clear_removes_chunks(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = small_batch()
+        runs = [execute_spec(s).run_or_raise() for s in specs]
+        cache.put_batch(zip(specs, runs))
+        assert cache.clear() == len(specs)
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_corrupt_chunk_is_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = small_batch()
+        runs = [execute_spec(s).run_or_raise() for s in specs]
+        cache.put_batch(zip(specs, runs))
+        for chunk in (tmp_path / "chunks").glob("*.json"):
+            chunk.write_text("{ truncated")
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(specs[0]) is None  # miss, not an error
+        assert reopened.misses == 1

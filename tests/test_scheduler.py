@@ -534,3 +534,54 @@ class TestTerminationBookkeeping:
 
         s = run(path2(), [make(1, 0, prog), make(2, 0, prog)])
         assert s.metrics.terminations_all_gathered
+
+
+class TestPositionsQuery:
+    """``positions()`` under the SoA engine: array-derived, correct in both
+    regimes and across their transitions (the historical implementation
+    rebuilt the dict from robot attributes, which the SoA engine only
+    synchronizes at boundaries — the regression this pins)."""
+
+    def test_positions_track_every_round_across_regimes(self):
+        g = gg.ring(8)
+
+        def walker(ctx):  # SoA rounds
+            obs = yield
+            for _ in range(3):
+                obs = yield Action.move(0)
+            obs = yield Action.sleep(obs.round + 3)  # forces wake machinery
+            obs = yield Action.move(1)
+            yield Action.terminate()
+
+        def tracer(ctx):  # trace=None here, but give it cold actions too
+            obs = yield
+            obs = yield Action.sleep(obs.round + 2)
+            for _ in range(4):
+                obs = yield Action.move(1)
+            yield Action.terminate()
+
+        from repro.sim.reference import ReferenceScheduler
+
+        specs = lambda: [  # noqa: E731 - two identical spec lists
+            RobotSpec(label=1, start=0, factory=walker),
+            RobotSpec(label=2, start=4, factory=tracer),
+        ]
+        fast = Scheduler(g, specs())
+        seed = ReferenceScheduler(g, specs())
+        while not fast.all_terminated():
+            fast._step()
+            seed._step()
+            assert fast.positions() == seed.positions()
+        assert fast.positions() == seed.positions()
+
+    def test_positions_returns_fresh_dict(self):
+        g = gg.ring(4)
+
+        def sitter(ctx):
+            obs = yield
+            yield Action.terminate()
+
+        sched = Scheduler(g, [RobotSpec(label=1, start=2, factory=sitter)])
+        snapshot = sched.positions()
+        snapshot[1] = 99  # mutating the copy must not corrupt the engine
+        assert sched.positions() == {1: 2}
