@@ -31,7 +31,13 @@ from repro.sim.world import World
 from repro.uxs.generators import practical_plan
 from repro.uxs.verify import UxsCertificationError, covers_all_starts
 
-__all__ = ["GatheringRun", "run_gathering", "regime_for", "verify_uxs_for_graph"]
+__all__ = [
+    "GatheringRun",
+    "run_gathering",
+    "record_from_result",
+    "regime_for",
+    "verify_uxs_for_graph",
+]
 
 
 @dataclass
@@ -171,18 +177,49 @@ def run_gathering(
     if model is not None:
         kwargs["activation"] = model
     result = world.run(**kwargs)
+    return record_from_result(
+        algorithm,
+        graph,
+        starts,
+        result,
+        scenario_metrics=faulted or model is not None,
+    )
+
+
+_UNSET = object()
+
+
+def record_from_result(
+    algorithm: str,
+    graph: PortGraph,
+    starts: Sequence[int],
+    result,
+    scenario_metrics: bool = False,
+    min_pair_distance: Any = _UNSET,
+) -> GatheringRun:
+    """Assemble the flat :class:`GatheringRun` record from a run result.
+
+    Shared by :func:`run_gathering` and the batched replica path
+    (:func:`repro.runtime.spec.execute_batch_spec`), so a batched record is
+    built by the exact code a scalar record is.  ``min_pair_distance``
+    defaults to a fresh computation; batch call sites pass the value from a
+    per-graph :class:`~repro.analysis.placement.PairDistanceMemo` (same
+    integers, fewer BFS passes).
+    """
     extra: Dict[str, Any] = {}
     for stats in result.stats.values():
         if "gathered_at_step" in stats:
             extra["gathered_at_step"] = stats["gathered_at_step"]
         if "map_memory_bits" in stats:
             extra["map_memory_bits"] = stats["map_memory_bits"]
-    if faulted or model is not None:
+    if scenario_metrics:
         extra.update(_scenario_extras(result))
     # Sorted key order: the result cache stores records as sort_keys JSON,
     # so a cache round-trip re-orders dict keys.  Normalizing here keeps
     # fresh and cached records identical down to row/column order.
     extra = dict(sorted(extra.items()))
+    if min_pair_distance is _UNSET:
+        min_pair_distance = min_pairwise_distance(graph, list(starts))
     return GatheringRun(
         algorithm=algorithm,
         n=graph.n,
@@ -194,7 +231,7 @@ def run_gathering(
         gathered=result.gathered,
         detected=result.detected,
         first_gather_round=result.metrics.first_gather_round,
-        min_pair_distance=min_pairwise_distance(graph, list(starts)),
+        min_pair_distance=min_pair_distance,
         extra=extra,
     )
 

@@ -31,6 +31,7 @@ __all__ = [
     "dispersed_with_pair_distance",
     "adversarial_scatter",
     "min_pairwise_distance",
+    "PairDistanceMemo",
     "assign_labels",
     "PlacementError",
 ]
@@ -40,24 +41,55 @@ class PlacementError(ValueError):
     """The requested configuration does not exist on this graph."""
 
 
-def min_pairwise_distance(graph: PortGraph, nodes: Sequence[int]) -> Optional[int]:
-    """Minimum hop distance over all pairs (``0`` if a node repeats).
-
-    ``None`` for fewer than two robots.
-    """
+def _min_pairwise(nodes: Sequence[int], dist_for) -> Optional[int]:
+    """Shared core of :func:`min_pairwise_distance`: ``dist_for(u)`` must
+    return the BFS distance list from ``u`` (memoized or fresh)."""
     if len(nodes) < 2:
         return None
     if len(set(nodes)) < len(nodes):
         return 0
     best: Optional[int] = None
     node_list = sorted(set(nodes))
-    for i, u in enumerate(node_list):
-        dist = bfs_distances(graph, u)
+    for i, u in enumerate(node_list[:-1]):
+        dist = dist_for(u)
         for v in node_list[i + 1 :]:
             d = dist[v]
             if best is None or d < best:
                 best = d
     return best
+
+
+def min_pairwise_distance(graph: PortGraph, nodes: Sequence[int]) -> Optional[int]:
+    """Minimum hop distance over all pairs (``0`` if a node repeats).
+
+    ``None`` for fewer than two robots.
+    """
+    return _min_pairwise(nodes, lambda u: bfs_distances(graph, u))
+
+
+class PairDistanceMemo:
+    """Per-graph BFS memo for repeated :func:`min_pairwise_distance` queries.
+
+    A replica campaign computes the pair distance of R placements on *one*
+    graph; start nodes recur across replicas, and each recurring node would
+    pay a fresh BFS per replica.  This memo keys BFS results by start node —
+    distances on a fixed graph are pure, so the answers are bit-identical to
+    the memo-free function (the batched-vs-scalar differential suite pins
+    this).
+    """
+
+    def __init__(self, graph: PortGraph):
+        self.graph = graph
+        self._dist: dict = {}
+
+    def distances_from(self, u: int) -> List[int]:
+        dist = self._dist.get(u)
+        if dist is None:
+            dist = self._dist[u] = bfs_distances(self.graph, u)
+        return dist
+
+    def min_pairwise_distance(self, nodes: Sequence[int]) -> Optional[int]:
+        return _min_pairwise(nodes, self.distances_from)
 
 
 def undispersed_placement(graph: PortGraph, k: int, seed: int = 0) -> List[int]:

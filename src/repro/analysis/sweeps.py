@@ -21,7 +21,7 @@ no executor.)
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.experiments import regime_for
 from repro.analysis.fitting import loglog_slope
@@ -267,6 +267,8 @@ def scenario_sweep(
     cache: Optional[ResultCache] = None,
     root_seed: Optional[int] = None,
     stats: Optional[ExecutionStats] = None,
+    replicas: int = 1,
+    batch: Union[bool, str] = False,
 ) -> Dict[str, Any]:
     """Run one registered scenario and derive its fault metrics.
 
@@ -287,19 +289,42 @@ def scenario_sweep(
     its scenario spec only in the scenario fields.  A spec that fails
     (curated scenarios never do — the registry's curation rule) yields a
     row with ``error`` set instead of poisoning the batch.
+
+    ``replicas=R`` turns the campaign into a replica campaign: each
+    compiled spec runs as itself plus ``R - 1`` seed-varied siblings
+    (:func:`repro.runtime.replicate_spec`), and rows gain a ``replica``
+    column.  ``batch=True`` routes differ-only-by-seed groups (the clean
+    siblings and their twins) through the lockstep replica engine —
+    bit-identical rows, less wall-clock.
     """
     # Imported here, not at module top: repro.scenarios sits above the
     # runtime layer this module feeds, and a top-level import would tie the
     # two packages into an import cycle for every analysis consumer.
-    from repro.runtime import assign_seeds
+    from repro.runtime import assign_seeds, replicate_spec
     from repro.scenarios import clean_twin, get_scenario
 
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
     scenario = get_scenario(name)
     specs = list(scenario.specs)
     if root_seed is not None:
         specs = assign_seeds(specs, root_seed)
+    replica_of = [0] * len(specs)
+    if replicas > 1:
+        expanded: List[RunSpec] = []
+        replica_of = []
+        for i, spec in enumerate(specs):
+            siblings = replicate_spec(
+                spec,
+                replicas,
+                root_seed if root_seed is not None else 0,
+                salt=f"replica:{name}:{i}",
+            )
+            expanded.extend(siblings)
+            replica_of.extend(range(replicas))
+        specs = expanded
 
-    batch = list(specs)
+    campaign = list(specs)
     twin_index: Dict[int, int] = {}
     # Seed the dedup map with the scenario specs themselves: a twin that
     # equals another spec already in the batch (the natural with/without-
@@ -314,11 +339,11 @@ def scenario_sweep(
             continue
         key = twin.canonical_json()
         if key not in seen_twins:
-            seen_twins[key] = len(batch)
-            batch.append(twin)
+            seen_twins[key] = len(campaign)
+            campaign.append(twin)
         twin_index[i] = seen_twins[key]
 
-    result = execute(batch, executor=executor, cache=cache, stats=stats)
+    result = execute(campaign, executor=executor, cache=cache, stats=stats, batch=batch)
     outcomes = result.outcomes
 
     rows: List[Dict[str, Any]] = []
@@ -334,6 +359,8 @@ def scenario_sweep(
             "activation": spec.activation,
             "faults": plan.describe() if plan else "none",
         }
+        if replicas > 1:
+            row["replica"] = replica_of[i]
         if outcome.ok:
             rec = outcome.run
             twin_outcome = outcomes[twin_index[i]]

@@ -51,6 +51,7 @@ from repro.runtime import (
     RunSpec,
     SerialExecutor,
     execute,
+    replicate_spec,
 )
 from repro.scenarios import all_scenarios, get_scenario, scenario_names
 
@@ -146,6 +147,10 @@ def runtime_context(args) -> str:
     parts = []
     if getattr(args, "scenario", None):
         parts.append(f"scenario={args.scenario}")
+    if getattr(args, "replicas", 1) > 1:
+        parts.append(f"replicas={args.replicas}")
+    if getattr(args, "batch", False):
+        parts.append("batch=on")
     if getattr(args, "max_degree", None) is not None:
         parts.append(f"knowledge[max_degree]={args.max_degree}")
     if getattr(args, "hop_distance", None) is not None:
@@ -281,16 +286,51 @@ def _profiled_execute(args, specs, **kwargs):
 def cmd_sweep(args) -> int:
     if args.scenario:
         return _sweep_scenario(args)
+    replicas = args.replicas
     specs = []
     for n in args.ns:
         ns_args = argparse.Namespace(**vars(args))
         ns_args.n = n
-        specs.append(spec_from_args(ns_args))
-    result = _profiled_execute(args, specs, cache=make_cache(args))
-    rows = [outcome.run_or_raise().as_row() for outcome in result.outcomes]
-    print(render_table(rows, title=f"sweep: {args.algorithm} on {args.family}"))
+        base = spec_from_args(ns_args)
+        if replicas > 1:
+            specs.extend(replicate_spec(base, replicas, args.seed, salt=f"sweep:{n}"))
+        else:
+            specs.append(base)
+    result = _profiled_execute(args, specs, cache=make_cache(args), batch=args.batch)
+    if replicas > 1:
+        # One aggregate row per n: a replica campaign reports the seed
+        # distribution, not R near-identical table rows.
+        rows = []
+        for i, n in enumerate(args.ns):
+            recs = [
+                o.run_or_raise()
+                for o in result.outcomes[i * replicas : (i + 1) * replicas]
+            ]
+            rounds = [r.rounds for r in recs]
+            rows.append(
+                {
+                    "n": n,
+                    "replicas": replicas,
+                    "rounds_min": min(rounds),
+                    "rounds_mean": round(sum(rounds) / len(rounds)),
+                    "rounds_max": max(rounds),
+                    "moves_mean": round(sum(r.total_moves for r in recs) / len(recs)),
+                    "gathered": sum(1 for r in recs if r.gathered),
+                }
+            )
+        print(
+            render_table(
+                rows,
+                title=f"sweep: {args.algorithm} on {args.family} × {replicas} replicas",
+            )
+        )
+        slope_rounds = [r["rounds_mean"] for r in rows]
+    else:
+        rows = [outcome.run_or_raise().as_row() for outcome in result.outcomes]
+        print(render_table(rows, title=f"sweep: {args.algorithm} on {args.family}"))
+        slope_rounds = [r["rounds"] for r in rows]
     if len(args.ns) >= 2:
-        slope = loglog_slope(args.ns, [r["rounds"] for r in rows])
+        slope = loglog_slope(args.ns, slope_rounds)
         print(f"\nlog-log slope of rounds vs n: {slope:.2f}")
     if runtime_requested(args):
         print(f"\n{result.stats.summary()}{runtime_context(args)}")
@@ -306,7 +346,7 @@ def _sweep_scenario(args) -> int:
     instead of letting the user believe their flags took effect.
     """
     defaults = vars(make_parser().parse_args(["sweep", "--scenario", args.scenario]))
-    honored = {"scenario", "workers", "cache_dir", "profile"}
+    honored = {"scenario", "workers", "cache_dir", "profile", "replicas", "batch"}
     ignored = sorted(
         "--" + key.replace("_", "-")
         for key, value in vars(args).items()
@@ -368,6 +408,8 @@ def cmd_scenarios_run(args) -> int:
             args.name,
             executor=SerialExecutor() if profiling else make_executor(args),
             cache=make_cache(args),
+            replicas=getattr(args, "replicas", 1),
+            batch=getattr(args, "batch", False),
         )
     print(render_table(out["rows"], title=f"scenario: {args.name}"))
     summary = out["summary"]
@@ -408,6 +450,21 @@ def make_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cache-dir", type=str, default=None,
                         help="content-addressed result cache directory; "
                              "completed runs are skipped on re-invocation")
+
+    def positive_int(value: str) -> int:
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return n
+
+    def replica_flags(sp):
+        sp.add_argument("--replicas", type=positive_int, default=1,
+                        help="run each configuration under N seeds (the "
+                             "original plus N-1 derived re-rolls)")
+        sp.add_argument("--batch", action="store_true",
+                        help="run differ-only-by-seed groups through the "
+                             "lockstep replica engine (bit-identical "
+                             "results, less wall-clock; see docs/RUNTIME.md)")
 
     def common(sp):
         sp.add_argument("--family", choices=sorted(gg.FAMILIES), default="ring")
@@ -461,6 +518,7 @@ def make_parser() -> argparse.ArgumentParser:
     ps.add_argument("--profile", action="store_true",
                     help="run the batch under cProfile and print the top 20 "
                          "cumulative entries (forces serial execution)")
+    replica_flags(ps)
     ps.set_defaults(fn=cmd_sweep)
 
     psc = sub.add_parser("scenarios", help="the curated scenario registry")
@@ -475,6 +533,7 @@ def make_parser() -> argparse.ArgumentParser:
     sr = scen_sub.add_parser("run", help="run a scenario campaign with fault metrics")
     sr.add_argument("name", choices=scenario_names())
     runtime_flags(sr)
+    replica_flags(sr)
     sr.set_defaults(fn=cmd_scenarios_run)
 
     return p

@@ -13,6 +13,10 @@ reports):
   optional chunked multi-record files for large batches);
 * :mod:`~repro.runtime.graph_cache` — per-worker graph/CSR memoization, so
   a batch builds each topology once instead of once per spec;
+* :class:`BatchRunSpec` / ``execute(batch=True)`` — lockstep replica
+  batching: specs that differ only by seed run as one fleet through
+  :class:`repro.sim.ReplicaBatch`, amortizing graph checks and per-round
+  overhead while keeping records and cache keys bit-identical;
 * :func:`execute` / :func:`run_specs` — the batch API gluing it together.
 
 Serial execution is the default everywhere, keeping results bit-identical
@@ -30,16 +34,21 @@ from repro.runtime.executor import (
     SerialExecutor,
     assign_seeds,
     derive_seed,
+    replicate_spec,
 )
 from repro.runtime.spec import (
     ALGORITHM_BUILDERS,
     NO_DETECTION,
     NO_UXS,
     PLACEMENT_BUILDERS,
+    BatchRunSpec,
     RunFailure,
     RunOutcome,
     RunSpec,
+    batch_key,
+    execute_batch_spec,
     execute_spec,
+    group_into_batches,
     materialize,
     register_algorithm,
     unregister_algorithm,
@@ -48,9 +57,13 @@ from repro.runtime.spec import (
 __all__ = [
     "graph_cache",
     "RunSpec",
+    "BatchRunSpec",
     "RunOutcome",
     "RunFailure",
     "execute_spec",
+    "execute_batch_spec",
+    "batch_key",
+    "group_into_batches",
     "materialize",
     "register_algorithm",
     "unregister_algorithm",
@@ -64,6 +77,7 @@ __all__ = [
     "ProgressCallback",
     "derive_seed",
     "assign_seeds",
+    "replicate_spec",
     "ResultCache",
     "ExecutionStats",
     "ExecutionResult",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.experiments import GatheringRun
 from repro.runtime.cache import ResultCache
@@ -30,7 +30,7 @@ from repro.runtime.executor import (
     SerialExecutor,
     assign_seeds,
 )
-from repro.runtime.spec import RunOutcome, RunSpec
+from repro.runtime.spec import RunOutcome, RunSpec, group_into_batches
 
 __all__ = ["ExecutionStats", "ExecutionResult", "execute", "run_specs"]
 
@@ -43,15 +43,23 @@ class ExecutionStats:
     executed: int = 0
     cache_hits: int = 0
     failures: int = 0
+    #: Runs that executed through the lockstep replica engine (a subset of
+    #: ``executed``; results are bit-identical to scalar execution).
+    batched: int = 0
     elapsed: float = 0.0
 
     def summary(self) -> str:
         """One stable line for CLI output (deliberately no timing, so runs
-        with different worker counts print byte-identical summaries)."""
-        return (
+        with different worker counts print byte-identical summaries).  The
+        batched count appears only when replica batching actually ran, so
+        historical output stays byte-stable."""
+        line = (
             f"runtime: {self.total} runs — {self.executed} executed, "
             f"{self.cache_hits} cached, {self.failures} failed"
         )
+        if self.batched:
+            line += f" ({self.batched} batched)"
+        return line
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another batch's accounting into this one (used by
@@ -60,6 +68,7 @@ class ExecutionStats:
         self.executed += other.executed
         self.cache_hits += other.cache_hits
         self.failures += other.failures
+        self.batched += other.batched
         self.elapsed += other.elapsed
 
 
@@ -84,6 +93,7 @@ def execute(
     progress: Optional[ProgressCallback] = None,
     stats: Optional[ExecutionStats] = None,
     cache_chunk: Optional[int] = None,
+    batch: Union[bool, str] = False,
 ) -> ExecutionResult:
     """Run a batch of specs through an executor, consulting the cache.
 
@@ -101,6 +111,16 @@ def execute(
     interruption guarantee — a killed batch loses at most the last
     unflushed N-1 records instead of none.  ``None`` keeps the historical
     per-run write-through.
+
+    ``batch=True`` groups pending specs that differ only by seed into
+    lockstep replica batches (:func:`repro.runtime.spec.execute_batch_spec`)
+    — the multi-seed campaign fast path.  Results, failures, and cache
+    entries are bit-identical to scalar execution (per-replica records keep
+    their individual SHA-256 cache keys, so historical caches survive);
+    only wall-clock changes.  Pass ``"numpy"`` or ``"list"`` instead of
+    ``True`` to pin the engine's bookkeeping backend.  Cache hits
+    short-circuit before grouping, so a partially cached campaign batches
+    only what actually runs.
     """
     t0 = time.perf_counter()
     if cache_chunk is not None and cache_chunk < 1:
@@ -131,8 +151,15 @@ def execute(
     # interrupted batch (Ctrl-C, CI timeout) keeps everything it completed.
     # With cache_chunk, landings buffer instead and flush as chunk files.
     chunk_buffer: List = []
+    total_pending = len(pending)
+    landed = 0
 
     def land(outcome: RunOutcome, done: int, total: int) -> None:
+        # done/total are recomputed here: with batching the executor may be
+        # invoked twice (batches, then singles) and its per-call counters
+        # would restart; ``landed``/``total_pending`` span the whole call.
+        nonlocal landed
+        landed += 1
         if cache is not None and outcome.ok:
             if cache_chunk is None:
                 cache.put(outcome.spec, outcome.run)
@@ -142,13 +169,35 @@ def execute(
                     cache.put_batch(chunk_buffer)
                     chunk_buffer.clear()
         if progress is not None:
-            progress(outcome, done, total)
+            progress(outcome, landed, total_pending)
 
-    executed = executor.run(pending, progress=land) if pending else []
+    executed: List[Tuple[int, RunOutcome]] = []
+    if pending and batch:
+        backend = batch if isinstance(batch, str) else "auto"
+        groups, singles = group_into_batches(pending, backend=backend)
+        # Two dispatch phases: batches first, then scalar leftovers.  With a
+        # parallel executor the singles therefore wait for the batch pool to
+        # drain — a deliberate simplicity trade-off (a unified mixed
+        # dispatch would complicate the executor interface for a phase that
+        # is small whenever batching is worth turning on).
+        if groups:
+            group_results = executor.run_batches(
+                [bspec for _, bspec in groups], progress=land
+            )
+            for (local_idx, _), group_outcomes in zip(groups, group_results):
+                for li, outcome in zip(local_idx, group_outcomes):
+                    executed.append((pending_idx[li], outcome))
+        if singles:
+            single_outcomes = executor.run([s for _, s in singles], progress=land)
+            for (li, _), outcome in zip(singles, single_outcomes):
+                executed.append((pending_idx[li], outcome))
+    elif pending:
+        for i, outcome in zip(pending_idx, executor.run(pending, progress=land)):
+            executed.append((i, outcome))
     if chunk_buffer:
         cache.put_batch(chunk_buffer)
         chunk_buffer.clear()
-    for i, outcome in zip(pending_idx, executed):
+    for i, outcome in executed:
         outcomes[i] = outcome
 
     final = [o for o in outcomes if o is not None]
@@ -157,6 +206,7 @@ def execute(
         executed=len(executed),
         cache_hits=hits,
         failures=sum(1 for o in final if not o.ok),
+        batched=sum(1 for _, o in executed if o.batched),
         elapsed=time.perf_counter() - t0,
     )
     if stats is not None:

@@ -16,7 +16,12 @@ of small records, and one file + one atomic rename per record dominates
 cache I/O.  ``put_batch`` packs many records into a single chunk file
 under ``chunks/`` (same atomic-write discipline); lookups consult the
 per-key files first and an in-memory index of all chunk files second, so
-the two layouts interoperate in one directory.  ``execute(...,
+the two layouts interoperate in one directory.  The chunk index is a
+per-handle snapshot, loaded lazily and kept current only for this
+handle's own ``put_batch`` calls: a record chunk-written by a *different*
+handle after the snapshot loaded reads as a clean miss (the run simply
+re-executes), never as corruption — and a fresh handle sees the union of
+everything on disk.  ``execute(...,
 cache_chunk=N)`` opts a batch into chunked write-behind — see
 :mod:`repro.runtime.api` for the interruption-guarantee trade-off.
 """

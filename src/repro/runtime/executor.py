@@ -30,7 +30,13 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from repro.runtime.spec import RunOutcome, RunSpec, execute_spec
+from repro.runtime.spec import (
+    BatchRunSpec,
+    RunOutcome,
+    RunSpec,
+    execute_batch_spec,
+    execute_spec,
+)
 
 __all__ = [
     "Executor",
@@ -39,6 +45,7 @@ __all__ = [
     "ProgressCallback",
     "derive_seed",
     "assign_seeds",
+    "replicate_spec",
 ]
 
 #: ``progress(outcome, done_so_far, total)`` — called as outcomes land (in
@@ -67,6 +74,35 @@ def assign_seeds(specs: Sequence[RunSpec], root_seed: int) -> List[RunSpec]:
     ]
 
 
+def replicate_spec(
+    spec: RunSpec, replicas: int, root_seed: int = 0, salt: str = "replica"
+) -> List[RunSpec]:
+    """``spec`` plus ``replicas - 1`` seed-varied siblings.
+
+    Replica 0 is the spec itself, untouched — its cache key, pinned
+    per-scheme seeds, everything.  Replicas 1.. carry a derived spec-level
+    seed and drop any pinned ``"seed"`` in ``placement_args`` /
+    ``labels_args`` / ``algorithm_args`` so the spec-level seed governs all
+    randomness — making the siblings genuine re-rolls of the same
+    experiment *and* a batchable differ-only-by-seed group (see
+    :func:`repro.runtime.spec.group_into_batches`).
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    out = [spec]
+    for r in range(1, replicas):
+        out.append(
+            replace(
+                spec,
+                seed=derive_seed(root_seed, r, salt=salt),
+                placement_args={k: v for k, v in spec.placement_args.items() if k != "seed"},
+                labels_args={k: v for k, v in spec.labels_args.items() if k != "seed"},
+                algorithm_args={k: v for k, v in spec.algorithm_args.items() if k != "seed"},
+            )
+        )
+    return out
+
+
 class Executor(ABC):
     """Strategy interface: run specs, return outcomes in submission order."""
 
@@ -75,6 +111,33 @@ class Executor(ABC):
         self, specs: Iterable[RunSpec], progress: Optional[ProgressCallback] = None
     ) -> List[RunOutcome]:
         raise NotImplementedError
+
+    def run_batches(
+        self,
+        batches: Sequence[BatchRunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[List[RunOutcome]]:
+        """Run replica batches; one outcome list per batch, in order.
+
+        Default implementation is serial and in-process; parallel executors
+        override it to dispatch whole batches to workers (a batch is
+        already a coarse unit — replicas inside it run in lockstep and
+        cannot be split).  ``progress`` fires per replica outcome with
+        ``total`` = all replicas across ``batches``.
+        """
+        total = sum(len(b.seeds) for b in batches)
+        done = 0
+        results: List[List[RunOutcome]] = []
+        for batch in batches:
+            outcomes = execute_batch_spec(batch)
+            results.append(outcomes)
+            if progress is not None:
+                for outcome in outcomes:
+                    done += 1
+                    progress(outcome, done, total)
+            else:
+                done += len(outcomes)
+        return results
 
 
 class SerialExecutor(Executor):
@@ -184,6 +247,60 @@ class ParallelExecutor(Executor):
                 "ParallelExecutor dropped outcomes for "
                 f"{sum(r is None for r in results)} of {len(specs)} specs"
             )
+        return [r for r in results if r is not None]
+
+    def run_batches(
+        self,
+        batches: Sequence[BatchRunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[List[RunOutcome]]:
+        """Fan whole batches out over worker processes, one per task.
+
+        No chunking: a batch is already coarse (R lockstep replicas).  A
+        worker that dies mid-batch poisons only its own batch, which is
+        retried replica-by-replica through the scalar isolation path —
+        records are identical either way, just slower.
+        """
+        batches = list(batches)
+        if not batches:
+            return []
+        if self.workers == 1 or len(batches) == 1:
+            return super().run_batches(batches, progress=progress)
+        total = sum(len(b.seeds) for b in batches)
+        done = 0
+        results: List[Optional[List[RunOutcome]]] = [None] * len(batches)
+        ctx = multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        retry: List[int] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(batches)), mp_context=ctx
+        ) as pool:
+            futures = {
+                pool.submit(execute_batch_spec, batch): i
+                for i, batch in enumerate(batches)
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    outcomes = future.result()
+                except Exception:
+                    retry.append(i)
+                    continue
+                results[i] = outcomes
+                if progress is not None:
+                    for outcome in outcomes:
+                        done += 1
+                        progress(outcome, done, total)
+                else:
+                    done += len(outcomes)
+        for i in sorted(retry):
+            outcomes = [
+                self._run_isolated(spec, ctx) for spec in batches[i].specs()
+            ]
+            results[i] = outcomes
+            if progress is not None:
+                for outcome in outcomes:
+                    done += 1
+                    progress(outcome, done, total)
         return [r for r in results if r is not None]
 
     @staticmethod

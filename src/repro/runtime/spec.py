@@ -19,11 +19,17 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field, asdict
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass, field, asdict, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.experiments import GatheringRun, run_gathering
+from repro.analysis.experiments import (
+    GatheringRun,
+    record_from_result,
+    run_gathering,
+    verify_uxs_for_graph,
+)
 from repro.analysis.placement import (
+    PairDistanceMemo,
     adversarial_scatter,
     assign_labels,
     dispersed_random,
@@ -36,14 +42,22 @@ from repro.core.undispersed import undispersed_gathering_program
 from repro.core.uxs_gathering import uxs_gathering_program
 from repro.ext.faults import FaultPlan
 from repro.graphs.port_graph import PortGraph
+from repro.graphs.traversal import require_connected
 from repro.runtime.graph_cache import graph_for
 from repro.sim.activation import build_activation
+from repro.sim.batch import ReplicaBatch
+from repro.sim.robot import RobotSpec
+from repro.sim.world import DEFAULT_MAX_ROUNDS
 
 __all__ = [
     "RunSpec",
+    "BatchRunSpec",
     "RunOutcome",
     "RunFailure",
     "execute_spec",
+    "execute_batch_spec",
+    "batch_key",
+    "group_into_batches",
     "materialize",
     "register_algorithm",
     "unregister_algorithm",
@@ -230,6 +244,9 @@ class RunOutcome:
     error_type: Optional[str] = None
     elapsed: float = 0.0
     cached: bool = False
+    #: True when the run came out of the lockstep replica engine
+    #: (:func:`execute_batch_spec`); results are bit-identical either way.
+    batched: bool = False
 
     @property
     def ok(self) -> bool:
@@ -257,12 +274,10 @@ class RunFailure(RuntimeError):
 # ---------------------------------------------------------------------------
 
 
-def materialize(spec: RunSpec):
-    """Rebuild the live objects a spec describes.
-
-    Returns ``(graph, starts, labels, factory_for)`` ready for
-    :func:`repro.analysis.experiments.run_gathering`.
-    """
+def _validate_and_graph(spec: RunSpec) -> PortGraph:
+    """The seed-independent half of :func:`materialize`: name validation,
+    activation/fault checks, and the (memoized) graph build.  A batch of
+    seed-replicas shares one call."""
     if spec.algorithm not in ALGORITHM_BUILDERS:
         raise ValueError(
             f"unknown algorithm {spec.algorithm!r}; known: {sorted(ALGORITHM_BUILDERS)}"
@@ -279,7 +294,12 @@ def materialize(spec: RunSpec):
         plan.validate_for(spec.k)
     # per-process memo: a batch naming few topologies and many seeds builds
     # each graph (and its compiled CSR) once per worker, not once per spec
-    graph = graph_for(spec.family, dict(spec.graph))
+    return graph_for(spec.family, dict(spec.graph))
+
+
+def _materialize_parts(spec: RunSpec, graph: PortGraph):
+    """The seed-dependent half of :func:`materialize`: placement, labels,
+    and the program factory — per replica in a batch."""
     starts = PLACEMENT_BUILDERS[spec.placement](
         graph, spec.k, spec.resolved_seed(spec.placement_args), dict(spec.placement_args)
     )
@@ -297,7 +317,251 @@ def materialize(spec: RunSpec):
     def factory_for():
         return builder(opts)
 
+    return starts, labels, factory_for
+
+
+def materialize(spec: RunSpec):
+    """Rebuild the live objects a spec describes.
+
+    Returns ``(graph, starts, labels, factory_for)`` ready for
+    :func:`repro.analysis.experiments.run_gathering`.
+    """
+    graph = _validate_and_graph(spec)
+    starts, labels, factory_for = _materialize_parts(spec, graph)
     return graph, starts, labels, factory_for
+
+
+# ---------------------------------------------------------------------------
+# Replica batching
+# ---------------------------------------------------------------------------
+
+
+def _freeze(value: Any):
+    """Hashable projection of a spec's plain-data payloads (dict order
+    insensitive, like ``canonical_json``'s sorted keys)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def batch_key(spec: RunSpec) -> Optional[tuple]:
+    """The grouping identity for replica batching, or ``None`` if the spec
+    does not qualify.
+
+    Two specs with the same key differ in their ``seed`` field only — they
+    are replicas of one experiment.  Only *clean* specs qualify (the
+    batched engine runs the paper's exact synchronous model; activation
+    models and fault plans stay on the scalar path).  The key is a cheap
+    field tuple, **not** a cache key: per-replica results are still cached
+    under each spec's own SHA-256 (see :class:`repro.runtime.cache.
+    ResultCache`), and grouping a thousand-spec campaign must not pay a
+    thousand canonical-JSON serializations.
+    """
+    if not spec.is_clean():
+        return None
+    try:
+        return (
+            spec.algorithm,
+            spec.family,
+            _freeze(spec.graph),
+            spec.placement,
+            spec.k,
+            _freeze(spec.placement_args),
+            spec.labels,
+            _freeze(spec.labels_args),
+            _freeze(spec.algorithm_args),
+            _freeze(spec.knowledge),
+            spec.uses_uxs,
+            spec.stop_on_gather,
+            spec.max_rounds,
+            spec.strict,
+        )
+    except TypeError:  # unorderable dict keys cannot group safely
+        return None
+
+
+@dataclass(frozen=True)
+class BatchRunSpec:
+    """R seed-replicas of one :class:`RunSpec`, as a single unit of work.
+
+    ``template`` carries the shared experiment shape (``seed=None``);
+    ``seeds`` carries one entry per replica.  ``specs()`` reconstructs the
+    concrete per-replica specs — the identities results are cached and
+    reported under.  Picklable, so executors can dispatch a whole batch to
+    a worker process as one task.
+    """
+
+    template: RunSpec
+    seeds: Tuple[Optional[int], ...]
+    #: Bookkeeping backend for the replica engine (see
+    #: :mod:`repro.sim.batch`); results are bit-identical across backends.
+    backend: str = "auto"
+
+    def __post_init__(self):
+        if not self.seeds:
+            raise ValueError("BatchRunSpec needs at least one seed")
+        if batch_key(self.template) is None:
+            raise ValueError(
+                "only clean specs (synchronous activation, no faults) can batch"
+            )
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[RunSpec], backend: str = "auto"
+    ) -> "BatchRunSpec":
+        """Group concrete specs that differ only by seed into one batch."""
+        if not specs:
+            raise ValueError("BatchRunSpec needs at least one spec")
+        keys = {batch_key(s) for s in specs}
+        if len(keys) != 1 or None in keys:
+            raise ValueError("specs do not share a batchable identity")
+        return cls(
+            template=replace(specs[0], seed=None),
+            seeds=tuple(s.seed for s in specs),
+            backend=backend,
+        )
+
+    def specs(self) -> List[RunSpec]:
+        return [replace(self.template, seed=s) for s in self.seeds]
+
+
+def group_into_batches(
+    specs: Sequence[RunSpec],
+    min_replicas: int = 2,
+    backend: str = "auto",
+) -> Tuple[List[Tuple[List[int], BatchRunSpec]], List[Tuple[int, RunSpec]]]:
+    """Partition specs into seed-replica batches and scalar leftovers.
+
+    Returns ``(batches, singles)`` where each batch is ``(original
+    indices, BatchRunSpec)`` and singles are ``(original index, spec)``
+    pairs — everything needed to reassemble outcomes in submission order.
+    Groups smaller than ``min_replicas`` stay scalar (batching one replica
+    buys nothing).
+    """
+    groups: Dict[tuple, List[int]] = {}
+    unbatchable: List[int] = []
+    for i, spec in enumerate(specs):
+        key = batch_key(spec)
+        if key is None:
+            unbatchable.append(i)
+            continue
+        try:
+            groups.setdefault(key, []).append(i)
+        except TypeError:  # unhashable payload values cannot group safely
+            unbatchable.append(i)
+    batches: List[Tuple[List[int], BatchRunSpec]] = []
+    singles: List[Tuple[int, RunSpec]] = []
+    for i in unbatchable:
+        singles.append((i, specs[i]))
+    for indices in groups.values():
+        if len(indices) < min_replicas:
+            singles.extend((i, specs[i]) for i in indices)
+        else:
+            batches.append(
+                (
+                    indices,
+                    BatchRunSpec(
+                        template=replace(specs[indices[0]], seed=None),
+                        seeds=tuple(specs[i].seed for i in indices),
+                        backend=backend,
+                    ),
+                )
+            )
+    singles.sort(key=lambda pair: pair[0])
+    return batches, singles
+
+
+def execute_batch_spec(batch: BatchRunSpec) -> List[RunOutcome]:
+    """Run a batch of seed-replicas in lockstep; outcomes in seed order.
+
+    The scalar path's per-spec work is split: name/graph validation, UXS
+    certification, and the connectivity check run **once** for the shared
+    graph; placement, labels, and program construction run per replica;
+    the simulation itself runs through :class:`repro.sim.batch.
+    ReplicaBatch`.  Failures are isolated exactly as in
+    :func:`execute_spec` — per replica, message-identical — and per-outcome
+    ``elapsed`` is the batch wall-clock split evenly (lockstep interleaving
+    makes true per-replica timing meaningless).
+    """
+    specs = batch.specs()
+    t0 = time.perf_counter()
+
+    def errored(spec: RunSpec, exc: Exception) -> RunOutcome:
+        return RunOutcome(
+            spec=spec, error=str(exc), error_type=type(exc).__name__, batched=True
+        )
+
+    try:
+        template = specs[0]
+        graph = _validate_and_graph(template)
+    except Exception as exc:
+        return [errored(s, exc) for s in specs]
+
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    fleets: List[List[RobotSpec]] = []
+    fleet_idx: List[int] = []
+    starts_of: Dict[int, List[int]] = {}
+    for i, spec in enumerate(specs):
+        try:
+            starts, labels, factory_for = _materialize_parts(spec, graph)
+            if not starts:
+                raise ValueError("need at least one robot")
+            factory = factory_for()
+            fleet = [
+                RobotSpec(label=l, start=s, factory=factory, knowledge=dict(spec.knowledge))
+                for l, s in zip(labels, starts)
+            ]
+        except Exception as exc:
+            outcomes[i] = errored(spec, exc)
+            continue
+        starts_of[i] = list(starts)
+        fleets.append(fleet)
+        fleet_idx.append(i)
+
+    # Graph-pure checks, shared by every replica (the scalar path pays them
+    # per run); a failure here fails each healthy replica identically.
+    try:
+        if template.uses_uxs:
+            verify_uxs_for_graph(graph)
+        require_connected(graph)
+    except Exception as exc:
+        for i in fleet_idx:
+            outcomes[i] = errored(specs[i], exc)
+        return [o for o in outcomes if o is not None]
+
+    engine = ReplicaBatch(
+        graph, fleets, strict=template.strict, backend=batch.backend
+    )
+    max_rounds = (
+        template.max_rounds if template.max_rounds is not None else DEFAULT_MAX_ROUNDS
+    )
+    replica_outcomes = engine.run(
+        max_rounds=max_rounds, stop_on_gather=template.stop_on_gather
+    )
+    memo = PairDistanceMemo(graph)
+    elapsed = (time.perf_counter() - t0) / len(specs)
+    for i, rep in zip(fleet_idx, replica_outcomes):
+        spec = specs[i]
+        if rep.ok:
+            rec = record_from_result(
+                spec.algorithm,
+                graph,
+                starts_of[i],
+                rep.result,
+                min_pair_distance=memo.min_pairwise_distance(starts_of[i]),
+            )
+            outcomes[i] = RunOutcome(spec=spec, run=rec, elapsed=elapsed, batched=True)
+        else:
+            outcomes[i] = RunOutcome(
+                spec=spec,
+                error=rep.error,
+                error_type=rep.error_type,
+                elapsed=elapsed,
+                batched=True,
+            )
+    return [o for o in outcomes if o is not None]
 
 
 def execute_spec(spec: RunSpec) -> RunOutcome:

@@ -33,6 +33,7 @@ from repro.sim.activation import (
     SynchronousActivation,
     build_activation,
 )
+from repro.sim.batch import BatchSummary, ReplicaBatch, ReplicaOutcome
 from repro.sim.robot import RobotContext, RobotSpec
 from repro.sim.world import World, RunResult
 from repro.sim.errors import (
@@ -55,6 +56,9 @@ __all__ = [
     "RobotSpec",
     "World",
     "RunResult",
+    "ReplicaBatch",
+    "ReplicaOutcome",
+    "BatchSummary",
     "SimulationError",
     "SimulationTimeout",
     "SimulationDeadlock",

@@ -142,14 +142,22 @@ class Scheduler:
 
         # --- general-path state (invariants in docs/PERF.md) ----------
         self._csr = graph.csr
-        # occupants per node, kept sorted by label (self.robots is
-        # label-sorted, so the initial append order is already sorted)
-        occ: List[List[RobotState]] = [[] for _ in range(graph.n)]
-        for r in self.robots:
-            occ[r.node].append(r)
-        self._occ = occ
-        # cached card tuple per node; None = dirty (rebuilt on demand)
-        self._cards: List[Optional[Tuple[dict, ...]]] = [None] * graph.n
+        if type(self)._uses_soa:
+            # SoA schedulers never read the initial occupancy structures:
+            # every general-path entry rebuilds them via _soa_to_states.
+            # Deferring the build skips O(n) list allocations per
+            # construction — replica campaigns construct many schedulers.
+            self._occ: List[List[RobotState]] = []
+            self._cards: List[Optional[Tuple[dict, ...]]] = []
+        else:
+            # occupants per node, kept sorted by label (self.robots is
+            # label-sorted, so the initial append order is already sorted)
+            occ: List[List[RobotState]] = [[] for _ in range(graph.n)]
+            for r in self.robots:
+                occ[r.node].append(r)
+            self._occ = occ
+            # cached card tuple per node; None = dirty (rebuilt on demand)
+            self._cards = [None] * graph.n
         # reverse index: leader label -> persistent followers (label-sorted
         # is not required; cascade/propagation order is label-sorted where
         # it matters)
@@ -290,13 +298,25 @@ class Scheduler:
             if stop_on_gather and self.metrics.first_gather_round is not None:
                 break
             if self.round > max_rounds:
-                raise SimulationTimeout(
-                    self.round,
-                    detail="; ".join(
-                        f"{r.label}:{rb.STATUS_NAMES[r.status]}" for r in self.robots
-                    ),
-                )
+                raise self._timeout_error()
             self._step()
+        return self._finalize()
+
+    def _timeout_error(self) -> SimulationTimeout:
+        """The exception ``run`` raises past ``max_rounds``.  Shared with the
+        batched replica driver (:mod:`repro.sim.batch`), which enforces the
+        same limit per replica and must report the identical error."""
+        return SimulationTimeout(
+            self.round,
+            detail="; ".join(
+                f"{r.label}:{rb.STATUS_NAMES[r.status]}" for r in self.robots
+            ),
+        )
+
+    def _finalize(self) -> RunMetrics:
+        """Sync facades and fill the end-of-run metrics.  ``run`` calls this
+        once its loop exits; the batched replica driver calls it when it
+        retires a replica — one code path, identical metrics either way."""
         if self._soa_auth:
             self._sync_states()
         self.metrics.rounds = self.round

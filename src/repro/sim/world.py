@@ -28,7 +28,7 @@ from repro.sim.robot import RobotSpec
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["World", "RunResult"]
+__all__ = ["World", "RunResult", "package_result"]
 
 #: Default safety valve.  The deterministic schedules of this library are
 #: bounded and computable in advance; the default limit is generous enough
@@ -111,16 +111,28 @@ class World:
             replay=replay,
             activation=activation,
         )
-        metrics: RunMetrics = sched.run(max_rounds=max_rounds, stop_on_gather=stop_on_gather)
-        positions = sched.positions()
-        nodes = set(positions.values())
-        gathered = len(nodes) == 1
-        detected = gathered and metrics.terminations_all_gathered and sched.all_terminated()
-        return RunResult(
-            gathered=gathered,
-            detected=detected,
-            metrics=metrics,
-            final_node=nodes.pop() if gathered else None,
-            positions=positions,
-            stats={r.label: dict(r.ctx.stats) for r in sched.robots},
-        )
+        sched.run(max_rounds=max_rounds, stop_on_gather=stop_on_gather)
+        return package_result(sched)
+
+
+def package_result(sched: Scheduler) -> RunResult:
+    """Package a finished scheduler into a :class:`RunResult`.
+
+    Shared by :meth:`World.run` and the batched replica engine
+    (:mod:`repro.sim.batch`), so a batched replica's result is assembled by
+    the exact code a scalar run uses.  The scheduler must have completed
+    (``run`` returned, or the batch driver called ``_finalize``).
+    """
+    metrics: RunMetrics = sched.metrics
+    positions = sched.positions()
+    nodes = set(positions.values())
+    gathered = len(nodes) == 1
+    detected = gathered and metrics.terminations_all_gathered and sched.all_terminated()
+    return RunResult(
+        gathered=gathered,
+        detected=detected,
+        metrics=metrics,
+        final_node=nodes.pop() if gathered else None,
+        positions=positions,
+        stats={r.label: dict(r.ctx.stats) for r in sched.robots},
+    )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 import pytest
@@ -10,6 +11,17 @@ from repro.graphs import generators as gg
 from repro.graphs.port_graph import PortGraph
 from repro.sim.robot import RobotSpec
 from repro.sim.world import World, RunResult
+
+#: Multiplier for hypothesis example counts.  1 for ordinary runs; the
+#: nightly workflow sets ``REPRO_HYPOTHESIS_SCALE`` (see docs/CI.md) to
+#: sweep the property suites much deeper without slowing PR feedback.
+HYPOTHESIS_SCALE = max(1, int(os.environ.get("REPRO_HYPOTHESIS_SCALE", "1")))
+
+
+def scaled_examples(n: int) -> int:
+    """``max_examples`` for a property test: ``n`` scaled by the nightly
+    multiplier (use inside ``@settings``)."""
+    return n * HYPOTHESIS_SCALE
 
 
 def small_battery() -> List[PortGraph]:

@@ -65,6 +65,52 @@ class TestSweep:
         assert "log-log slope" in capsys.readouterr().out
 
 
+class TestReplicaFlags:
+    def test_sweep_replicas_aggregates_rows(self, capsys):
+        rc = main(["sweep", "--ns", "8", "12", "--replicas", "3",
+                   "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rounds_mean" in out and "× 3 replicas" in out
+        assert "log-log slope" in out
+
+    def test_sweep_batch_routes_through_engine(self, capsys):
+        rc = main(["sweep", "--ns", "8", "--replicas", "3", "--batch",
+                   "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # replicas 1.. group and batch; replica 0 keeps its pinned seeds
+        assert "(2 batched)" in out and "batch=on" in out
+
+    def test_sweep_batched_rows_equal_scalar_rows(self, capsys):
+        argv = ["sweep", "--ns", "8", "12", "--replicas", "3"]
+        assert main(argv) == 0
+        scalar_out = capsys.readouterr().out.splitlines()
+        assert main(argv + ["--batch"]) == 0
+        batched_out = capsys.readouterr().out.splitlines()
+        # the table is identical; only the (optional) runtime line differs
+        table = [l for l in scalar_out if "|" in l or "slope" in l]
+        table_b = [l for l in batched_out if "|" in l or "slope" in l]
+        assert table == table_b
+
+    def test_scenarios_run_replicas(self, capsys):
+        rc = main(["scenarios", "run", "clean-sync", "--replicas", "2",
+                   "--batch", "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replica" in out  # the per-row replica column appears
+
+    def test_sweep_scenario_honors_replica_flags(self, capsys):
+        rc = main(["sweep", "--scenario", "clean-sync", "--replicas", "2",
+                   "--batch"])
+        assert rc == 0
+        assert "replica" in capsys.readouterr().out
+
+    def test_sweep_scenario_still_rejects_shape_flags(self):
+        with pytest.raises(SystemExit, match="ignored"):
+            main(["sweep", "--scenario", "clean-sync", "--k", "5"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

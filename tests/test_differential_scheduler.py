@@ -25,6 +25,7 @@ from repro.graphs import generators as gg
 from repro.sim.actions import Action
 from repro.sim.robot import RobotSpec
 from repro.sim.scheduler import Scheduler
+from tests.conftest import scaled_examples
 
 # ---------------------------------------------------------------------------
 # The reference interpreter
@@ -144,7 +145,7 @@ script_strategy = st.lists(step_strategy, min_size=1, max_size=12)
     st.lists(script_strategy, min_size=1, max_size=4),
     st.data(),
 )
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=scaled_examples(120), deadline=None)
 def test_scheduler_matches_reference(graph_pick, scripts, data):
     graph = [gg.ring(6), gg.path(5), gg.star(6), gg.erdos_renyi(7, seed=3)][graph_pick]
     k = len(scripts)

@@ -58,7 +58,14 @@ def _cli_invocations(path: pathlib.Path):
 
 def test_docs_exist():
     names = {p.name for p in DOC_FILES}
-    assert {"README.md", "ALGORITHMS.md", "SCENARIOS.md", "RUNTIME.md", "PERF.md"} <= names
+    assert {
+        "README.md",
+        "ALGORITHMS.md",
+        "SCENARIOS.md",
+        "RUNTIME.md",
+        "PERF.md",
+        "CI.md",
+    } <= names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=doc_ids())

@@ -38,6 +38,7 @@ from repro.sim.reference import ReferenceScheduler
 from repro.sim.robot import RobotSpec
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import TraceRecorder
+from tests.conftest import scaled_examples
 from tests.test_integration_matrix import FAMILY_INSTANCES
 
 
@@ -445,7 +446,7 @@ def scripted_factory(script):
     st.lists(script_strategy, min_size=1, max_size=4),
     st.data(),
 )
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled_examples(100), deadline=None)
 def test_scripted_robots_bit_identical(graph_pick, scripts, data):
     graph = [gg.ring(6), gg.path(5), gg.star(6), gg.erdos_renyi(7, seed=3)][graph_pick]
     starts = [
@@ -628,7 +629,7 @@ fault_plan_strategy = st.builds(
     fault_plan_strategy,
     st.data(),
 )
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled_examples(60), deadline=None)
 def test_fault_plans_bit_identical(graph_pick, scripts, plan_dict, data):
     """Crash/delay campaigns (program-level wrappers) stay bit-identical
     across both schedulers — traced (general path) and untraced (SoA)."""

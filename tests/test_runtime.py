@@ -484,3 +484,103 @@ class TestChunkedCache:
         reopened = ResultCache(tmp_path)
         assert reopened.get(specs[0]) is None  # miss, not an error
         assert reopened.misses == 1
+
+    def test_put_batch_empty_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.put_batch([]) == 0
+        # no chunks directory materializes for an empty flush
+        assert not (tmp_path / "chunks").exists()
+        assert len(cache) == 0
+
+    def test_put_batch_duplicate_specs_collapse_to_one_record(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_batch()[0]
+        run = execute_spec(spec).run_or_raise()
+        # the same spec twice in one batch: last record wins, one key stored
+        assert cache.put_batch([(spec, run), (spec, run)]) == 1
+        assert len(cache) == 1
+        assert cache.get(spec).to_dict() == run.to_dict()
+
+    def test_cache_dir_collision_across_writers(self, tmp_path):
+        """Two cache handles on one directory (the parallel-worker shape).
+
+        Chunk indexes are per-handle snapshots: a record chunk-written by
+        another handle *after* this handle's index loaded reads as a miss
+        (safe — it would simply re-execute), never as corruption.  Per-key
+        write-through files are always visible to every handle, and a
+        fresh handle sees the union of everything on disk.
+        """
+        a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+        specs = small_batch()
+        runs = [execute_spec(s).run_or_raise() for s in specs]
+        a.put_batch(zip(specs[:2], runs[:2]))    # loads a's index first
+        b.put_batch(zip(specs[2:], runs[2:]))
+        b.put(specs[0], runs[0])                  # write-through collision
+        # each writer serves its own chunk records
+        assert a.get(specs[1]).to_dict() == runs[1].to_dict()
+        assert b.get(specs[2]).to_dict() == runs[2].to_dict()
+        # per-key write-through is visible across handles immediately
+        assert a.get(specs[0]).to_dict() == runs[0].to_dict()
+        # a's snapshot predates b's chunk: a clean miss, not an error
+        assert a.get(specs[2]) is None
+        # a fresh handle (the next sweep invocation) sees the union
+        fresh = ResultCache(tmp_path)
+        for spec, run in zip(specs, runs):
+            assert fresh.get(spec).to_dict() == run.to_dict()
+        assert len(fresh) == len(specs)
+
+    def test_concurrent_workers_share_one_cache_dir(self, tmp_path):
+        """A parallel chunked-cache batch against one directory: every
+        record lands, and a fresh handle reads all of them back."""
+        specs = small_batch()
+        result = execute(
+            specs,
+            executor=ParallelExecutor(workers=2, chunksize=1),
+            cache=ResultCache(tmp_path),
+            cache_chunk=2,
+        )
+        assert result.stats.executed == len(specs)
+        again = execute(specs, cache=ResultCache(tmp_path))
+        assert again.stats.cache_hits == len(specs)
+
+
+class TestGraphMemoEdges:
+    """graph_cache edge cases: non-JSON params, counter reset, key shape."""
+
+    def setup_method(self):
+        from repro.runtime import graph_cache
+
+        graph_cache.clear()
+
+    def test_non_json_params_fall_back_to_fresh_builds(self, monkeypatch):
+        from repro.graphs import generators as gg
+        from repro.runtime import graph_cache
+
+        def tolerant_ring(n, marker=None):
+            return gg.ring(n)
+
+        monkeypatch.setitem(gg.FAMILIES, "tolerant-ring", tolerant_ring)
+        weird = {"n": 12, "marker": {1, 2}}  # a set defeats JSON keying
+        with pytest.raises(TypeError):
+            json.dumps(weird)
+        g1 = graph_cache.graph_for("tolerant-ring", dict(weird))
+        g2 = graph_cache.graph_for("tolerant-ring", dict(weird))
+        # unkeyable params build fresh each time and never enter the memo
+        assert g1.n == g2.n == 12 and g1 is not g2
+        assert graph_cache.cache_info()["size"] == 0
+
+    def test_clear_resets_counters(self):
+        from repro.runtime import graph_cache
+
+        graph_cache.graph_for("ring", {"n": 12})
+        graph_cache.graph_for("ring", {"n": 12})
+        graph_cache.clear()
+        info = graph_cache.cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_param_order_does_not_split_keys(self):
+        from repro.runtime import graph_cache
+
+        g1 = graph_cache.graph_for("erdos_renyi", {"n": 9, "seed": 3})
+        g2 = graph_cache.graph_for("erdos_renyi", {"seed": 3, "n": 9})
+        assert g1 is g2
