@@ -4,11 +4,11 @@ Measures **replicas per second** for multi-seed campaigns — R seed-replicas
 of one :class:`~repro.runtime.RunSpec` — executed two ways through the same
 :func:`repro.runtime.execute` entry point:
 
-* ``scalar`` — the per-replica loop (``batch=False``): every replica pays
-  materialization, graph checks, scheduler construction, the full
+* ``scalar`` — the per-replica loop (the default engine): every replica
+  pays materialization, graph checks, scheduler construction, the full
   per-round loop, and record assembly on its own;
-* ``batch``  — the lockstep replica engine (``batch="numpy"`` /
-  ``batch="list"``): one shared graph + CSR kernel, graph-pure checks paid
+* ``batch``  — the lockstep replica engine (``engine="batch-numpy"`` /
+  ``engine="batch-list"``): one shared graph + CSR kernel, graph-pure checks paid
   once, a fused round loop with per-turn gate amortization, and a
   per-graph BFS memo for the pair-distance column.
 
@@ -136,7 +136,11 @@ def measure_cell(
     timing, so every number describes the same semantics.
     """
     specs = build_specs(family, graph, k, replicas, rounds)
-    modes = {"scalar": {}, "numpy": {"batch": "numpy"}, "list": {"batch": "list"}}
+    modes = {
+        "scalar": {},
+        "numpy": {"engine": "batch-numpy"},
+        "list": {"engine": "batch-list"},
+    }
     if "numpy" not in BACKENDS:  # pragma: no cover - numpy-less environments
         del modes["numpy"]
 

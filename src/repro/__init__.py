@@ -20,8 +20,10 @@ Quickstart::
     assert result.gathered and result.detected
     print(result.rounds, "rounds")
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See docs/ALGORITHMS.md for the paper-to-code map (algorithms, bounds, and
+where each theorem is exercised) and docs/PERF.md for the measured
+performance record and the benchmark workflow; docs/ENGINES.md documents
+the simulation-backend registry behind ``World.run(engine=...)``.
 """
 
 from repro.graphs import PortGraph, Edge, generators
@@ -33,6 +35,11 @@ from repro.sim import (
     Action,
     Observation,
     TraceRecorder,
+    Engine,
+    EngineCapabilities,
+    UnsupportedFeature,
+    get_engine,
+    list_engines,
 )
 from repro.core import bounds
 from repro.core.uxs_gathering import uxs_gathering_program
@@ -54,6 +61,11 @@ __all__ = [
     "Action",
     "Observation",
     "TraceRecorder",
+    "Engine",
+    "EngineCapabilities",
+    "UnsupportedFeature",
+    "get_engine",
+    "list_engines",
     "bounds",
     "uxs_gathering_program",
     "undispersed_gathering_program",

@@ -3,7 +3,7 @@
 :func:`run_gathering` is the one-stop runner used by every benchmark: it
 builds the world, pre-verifies UXS coverage when the algorithm may fall
 back to exploration sequences (refusing to report results on an uncovered
-instance — see DESIGN.md S1), runs to completion, validates the
+instance — see docs/ALGORITHMS.md), runs to completion, validates the
 gathering-with-detection contract, and returns a flat record.
 
 Batch call sites (sweeps, reports, the CLI) do not call it directly any
@@ -137,6 +137,7 @@ def run_gathering(
     activation: str = "sync",
     activation_args: Optional[Dict[str, Any]] = None,
     fault_plan=None,
+    engine: Optional[str] = None,
 ) -> GatheringRun:
     """Run one configured gathering instance and return its record.
 
@@ -151,6 +152,10 @@ def run_gathering(
     either deviates from the clean synchronous setting, the record's
     ``extra`` gains the scenario fault metrics (``mis_detected``,
     ``stranded``, ``crashed``) defined in ``docs/SCENARIOS.md``.
+
+    ``engine`` names a simulation backend from :func:`repro.sim.engines.
+    list_engines` (``None`` — the default scalar scheduler).  Conforming
+    backends return bit-identical records; see ``docs/ENGINES.md``.
     """
     if len(starts) != len(labels):
         raise ValueError("starts and labels must align")
@@ -176,6 +181,8 @@ def run_gathering(
         kwargs["max_rounds"] = max_rounds
     if model is not None:
         kwargs["activation"] = model
+    if engine is not None:
+        kwargs["engine"] = engine
     result = world.run(**kwargs)
     return record_from_result(
         algorithm,

@@ -269,6 +269,7 @@ def scenario_sweep(
     stats: Optional[ExecutionStats] = None,
     replicas: int = 1,
     batch: Union[bool, str] = False,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one registered scenario and derive its fault metrics.
 
@@ -293,9 +294,12 @@ def scenario_sweep(
     ``replicas=R`` turns the campaign into a replica campaign: each
     compiled spec runs as itself plus ``R - 1`` seed-varied siblings
     (:func:`repro.runtime.replicate_spec`), and rows gain a ``replica``
-    column.  ``batch=True`` routes differ-only-by-seed groups (the clean
-    siblings and their twins) through the lockstep replica engine —
-    bit-identical rows, less wall-clock.
+    column.  ``engine="batch-numpy"`` (or ``"batch-list"``) routes
+    differ-only-by-seed groups (the clean siblings and their twins)
+    through the lockstep replica engine — bit-identical rows, less
+    wall-clock; scalar engine names pin the simulation backend instead
+    (see docs/ENGINES.md).  ``batch=True`` is the deprecated spelling of
+    the replica engines and maps onto ``engine``.
     """
     # Imported here, not at module top: repro.scenarios sits above the
     # runtime layer this module feeds, and a top-level import would tie the
@@ -343,7 +347,10 @@ def scenario_sweep(
             campaign.append(twin)
         twin_index[i] = seen_twins[key]
 
-    result = execute(campaign, executor=executor, cache=cache, stats=stats, batch=batch)
+    result = execute(
+        campaign, executor=executor, cache=cache, stats=stats, batch=batch,
+        engine=engine,
+    )
     outcomes = result.outcomes
 
     rows: List[Dict[str, Any]] = []

@@ -51,9 +51,11 @@ from repro.runtime import (
     RunSpec,
     SerialExecutor,
     execute,
+    list_engines,
     replicate_spec,
 )
 from repro.scenarios import all_scenarios, get_scenario, scenario_names
+from repro.sim.batch import HAVE_NUMPY
 
 __all__ = ["main"]
 
@@ -141,6 +143,26 @@ def runtime_requested(args) -> bool:
     return args.workers is not None or bool(args.cache_dir)
 
 
+def resolve_engine_flag(args) -> Optional[str]:
+    """The engine name the flags select, mapping deprecated ``--batch``.
+
+    ``--batch`` stays accepted for one release as an alias for the best
+    available replica backend; it warns on stderr so scripts migrate to
+    ``--engine batch-numpy`` / ``--engine batch-list`` (an explicit
+    ``--engine`` wins when both are given).
+    """
+    engine = getattr(args, "engine", None)
+    if getattr(args, "batch", False):
+        print(
+            "warning: --batch is deprecated; use --engine batch-numpy "
+            "(or --engine batch-list)",
+            file=sys.stderr,
+        )
+        if engine is None:
+            engine = "batch-numpy" if HAVE_NUMPY else "batch-list"
+    return engine
+
+
 def runtime_context(args) -> str:
     """Scenario / knowledge-ablation suffix for the runtime summary line,
     so the accounting says *what* ran, not just how much."""
@@ -149,6 +171,8 @@ def runtime_context(args) -> str:
         parts.append(f"scenario={args.scenario}")
     if getattr(args, "replicas", 1) > 1:
         parts.append(f"replicas={args.replicas}")
+    if getattr(args, "engine", None):
+        parts.append(f"engine={args.engine}")
     if getattr(args, "batch", False):
         parts.append("batch=on")
     if getattr(args, "max_degree", None) is not None:
@@ -296,7 +320,9 @@ def cmd_sweep(args) -> int:
             specs.extend(replicate_spec(base, replicas, args.seed, salt=f"sweep:{n}"))
         else:
             specs.append(base)
-    result = _profiled_execute(args, specs, cache=make_cache(args), batch=args.batch)
+    result = _profiled_execute(
+        args, specs, cache=make_cache(args), engine=resolve_engine_flag(args)
+    )
     if replicas > 1:
         # One aggregate row per n: a replica campaign reports the seed
         # distribution, not R near-identical table rows.
@@ -346,7 +372,7 @@ def _sweep_scenario(args) -> int:
     instead of letting the user believe their flags took effect.
     """
     defaults = vars(make_parser().parse_args(["sweep", "--scenario", args.scenario]))
-    honored = {"scenario", "workers", "cache_dir", "profile", "replicas", "batch"}
+    honored = {"scenario", "workers", "cache_dir", "profile", "replicas", "batch", "engine"}
     ignored = sorted(
         "--" + key.replace("_", "-")
         for key, value in vars(args).items()
@@ -409,7 +435,7 @@ def cmd_scenarios_run(args) -> int:
             executor=SerialExecutor() if profiling else make_executor(args),
             cache=make_cache(args),
             replicas=getattr(args, "replicas", 1),
-            batch=getattr(args, "batch", False),
+            engine=resolve_engine_flag(args),
         )
     print(render_table(out["rows"], title=f"scenario: {args.name}"))
     summary = out["summary"]
@@ -461,10 +487,14 @@ def make_parser() -> argparse.ArgumentParser:
         sp.add_argument("--replicas", type=positive_int, default=1,
                         help="run each configuration under N seeds (the "
                              "original plus N-1 derived re-rolls)")
+        sp.add_argument("--engine", choices=list_engines(), default=None,
+                        help="simulation backend (default: the optimized "
+                             "scalar scheduler); batch-* engines run "
+                             "differ-only-by-seed groups in lockstep — all "
+                             "backends are bit-identical; see docs/ENGINES.md")
         sp.add_argument("--batch", action="store_true",
-                        help="run differ-only-by-seed groups through the "
-                             "lockstep replica engine (bit-identical "
-                             "results, less wall-clock; see docs/RUNTIME.md)")
+                        help="deprecated alias for '--engine batch-numpy' "
+                             "(accepted for one release, warns on stderr)")
 
     def common(sp):
         sp.add_argument("--family", choices=sorted(gg.FAMILIES), default="ring")

@@ -13,10 +13,14 @@ reports):
   optional chunked multi-record files for large batches);
 * :mod:`~repro.runtime.graph_cache` — per-worker graph/CSR memoization, so
   a batch builds each topology once instead of once per spec;
-* :class:`BatchRunSpec` / ``execute(batch=True)`` — lockstep replica
-  batching: specs that differ only by seed run as one fleet through
+* :class:`BatchRunSpec` / ``execute(engine="batch-numpy")`` — lockstep
+  replica batching: specs that differ only by seed run as one fleet through
   :class:`repro.sim.ReplicaBatch`, amortizing graph checks and per-round
   overhead while keeping records and cache keys bit-identical;
+* ``execute(engine=...)`` — single-flag simulation-backend dispatch: every
+  registered engine (:func:`repro.sim.engines.list_engines`) is selectable
+  by name, with bit-identical records across conforming backends (see
+  docs/ENGINES.md);
 * :func:`execute` / :func:`run_specs` — the batch API gluing it together.
 
 Serial execution is the default everywhere, keeping results bit-identical
@@ -27,6 +31,8 @@ list, just faster.  See docs/RUNTIME.md for the full tour.
 from repro.runtime import graph_cache
 from repro.runtime.api import ExecutionResult, ExecutionStats, execute, run_specs
 from repro.runtime.cache import ResultCache
+from repro.sim.engine import Engine, EngineCapabilities, UnsupportedFeature
+from repro.sim.engines import DEFAULT_ENGINE, get_engine, list_engines
 from repro.runtime.executor import (
     Executor,
     ParallelExecutor,
@@ -83,4 +89,10 @@ __all__ = [
     "ExecutionResult",
     "execute",
     "run_specs",
+    "Engine",
+    "EngineCapabilities",
+    "UnsupportedFeature",
+    "DEFAULT_ENGINE",
+    "get_engine",
+    "list_engines",
 ]

@@ -19,6 +19,7 @@ many ran, hit, and failed.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple, Union
 
@@ -31,8 +32,23 @@ from repro.runtime.executor import (
     assign_seeds,
 )
 from repro.runtime.spec import RunOutcome, RunSpec, group_into_batches
+from repro.sim.batch import HAVE_NUMPY
+from repro.sim.engines import get_engine
 
 __all__ = ["ExecutionStats", "ExecutionResult", "execute", "run_specs"]
+
+
+def _engine_for_legacy_batch(batch: Union[bool, str]) -> str:
+    """Map the deprecated ``batch=`` values onto engine names.
+
+    ``True``/``"auto"`` resolve exactly as the replica engine's ``auto``
+    backend did: numpy bookkeeping when importable, list otherwise.
+    """
+    if batch is True or batch == "auto":
+        return "batch-numpy" if HAVE_NUMPY else "batch-list"
+    if batch in ("numpy", "list"):
+        return f"batch-{batch}"
+    raise ValueError(f"unknown batch backend {batch!r}; known: ['auto', 'list', 'numpy']")
 
 
 @dataclass
@@ -94,6 +110,7 @@ def execute(
     stats: Optional[ExecutionStats] = None,
     cache_chunk: Optional[int] = None,
     batch: Union[bool, str] = False,
+    engine: Optional[str] = None,
 ) -> ExecutionResult:
     """Run a batch of specs through an executor, consulting the cache.
 
@@ -112,19 +129,47 @@ def execute(
     unflushed N-1 records instead of none.  ``None`` keeps the historical
     per-run write-through.
 
-    ``batch=True`` groups pending specs that differ only by seed into
-    lockstep replica batches (:func:`repro.runtime.spec.execute_batch_spec`)
-    — the multi-seed campaign fast path.  Results, failures, and cache
-    entries are bit-identical to scalar execution (per-replica records keep
-    their individual SHA-256 cache keys, so historical caches survive);
-    only wall-clock changes.  Pass ``"numpy"`` or ``"list"`` instead of
-    ``True`` to pin the engine's bookkeeping backend.  Cache hits
-    short-circuit before grouping, so a partially cached campaign batches
-    only what actually runs.
+    ``engine`` selects the simulation backend by name — the single
+    dispatch knob (see :func:`repro.sim.engines.list_engines` and
+    ``docs/ENGINES.md``).  It is an execution parameter like ``executor``:
+    it never enters a spec or its cache key, and conforming backends
+    produce bit-identical records, failures, and cache entries.
+
+    * scalar backends (``"reference"``, ``"incremental"``, ``"soa"``, or
+      ``None`` for the default) run every pending spec through
+      :func:`repro.runtime.spec.execute_spec` under that backend;
+    * replica backends (``"batch-list"``, ``"batch-numpy"``) group pending
+      specs that differ only by seed into lockstep replica batches
+      (:func:`repro.runtime.spec.execute_batch_spec`) — the multi-seed
+      campaign fast path.  Ungroupable specs (non-clean, or groups of one)
+      fall back to the default scalar path, exactly as replica batching
+      always has.  Cache hits short-circuit before grouping, so a
+      partially cached campaign batches only what actually runs.
+
+    ``batch=...`` is the deprecated spelling of the replica backends
+    (``True``/``"auto"`` → the best available, ``"numpy"``/``"list"`` →
+    pinned); it maps onto ``engine`` and warns.
     """
     t0 = time.perf_counter()
     if cache_chunk is not None and cache_chunk < 1:
         raise ValueError("cache_chunk must be >= 1")
+    if batch:
+        warnings.warn(
+            "execute(batch=...) is deprecated; use engine='batch-numpy' or "
+            "engine='batch-list' (see docs/ENGINES.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if engine is None:
+            engine = _engine_for_legacy_batch(batch)
+    scalar_engine: Optional[str] = None
+    batch_backend: Optional[str] = None
+    if engine is not None:
+        engine_cls = get_engine(engine)  # raises ValueError listing names
+        if engine_cls.capabilities.supports_batch:
+            batch_backend = engine_cls.batch_backend
+        else:
+            scalar_engine = engine
     specs = list(specs)
     if root_seed is not None:
         specs = assign_seeds(specs, root_seed)
@@ -172,9 +217,8 @@ def execute(
             progress(outcome, landed, total_pending)
 
     executed: List[Tuple[int, RunOutcome]] = []
-    if pending and batch:
-        backend = batch if isinstance(batch, str) else "auto"
-        groups, singles = group_into_batches(pending, backend=backend)
+    if pending and batch_backend is not None:
+        groups, singles = group_into_batches(pending, backend=batch_backend)
         # Two dispatch phases: batches first, then scalar leftovers.  With a
         # parallel executor the singles therefore wait for the batch pool to
         # drain — a deliberate simplicity trade-off (a unified mixed
@@ -192,7 +236,9 @@ def execute(
             for (li, _), outcome in zip(singles, single_outcomes):
                 executed.append((pending_idx[li], outcome))
     elif pending:
-        for i, outcome in zip(pending_idx, executor.run(pending, progress=land)):
+        for i, outcome in zip(
+            pending_idx, executor.run(pending, progress=land, engine=scalar_engine)
+        ):
             executed.append((i, outcome))
     if chunk_buffer:
         cache.put_batch(chunk_buffer)

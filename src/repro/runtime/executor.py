@@ -104,11 +104,20 @@ def replicate_spec(
 
 
 class Executor(ABC):
-    """Strategy interface: run specs, return outcomes in submission order."""
+    """Strategy interface: run specs, return outcomes in submission order.
+
+    ``engine`` names a scalar simulation backend (see
+    :func:`repro.sim.engines.list_engines`); executors pass it through to
+    :func:`repro.runtime.spec.execute_spec` unchanged — backend choice is
+    orthogonal to execution strategy, and ``None`` keeps the default.
+    """
 
     @abstractmethod
     def run(
-        self, specs: Iterable[RunSpec], progress: Optional[ProgressCallback] = None
+        self,
+        specs: Iterable[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+        engine: Optional[str] = None,
     ) -> List[RunOutcome]:
         raise NotImplementedError
 
@@ -144,21 +153,24 @@ class SerialExecutor(Executor):
     """In-process execution, one spec at a time, in order."""
 
     def run(
-        self, specs: Iterable[RunSpec], progress: Optional[ProgressCallback] = None
+        self,
+        specs: Iterable[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+        engine: Optional[str] = None,
     ) -> List[RunOutcome]:
         specs = list(specs)
         outcomes: List[RunOutcome] = []
         for i, spec in enumerate(specs):
-            outcome = execute_spec(spec)
+            outcome = execute_spec(spec, engine=engine)
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome, i + 1, len(specs))
         return outcomes
 
 
-def _execute_chunk(specs: List[RunSpec]) -> List[RunOutcome]:
+def _execute_chunk(specs: List[RunSpec], engine: Optional[str] = None) -> List[RunOutcome]:
     """Worker-side entry point: run one chunk, never raise."""
-    return [execute_spec(s) for s in specs]
+    return [execute_spec(s, engine=engine) for s in specs]
 
 
 class ParallelExecutor(Executor):
@@ -190,13 +202,16 @@ class ParallelExecutor(Executor):
         self.mp_context = mp_context
 
     def run(
-        self, specs: Iterable[RunSpec], progress: Optional[ProgressCallback] = None
+        self,
+        specs: Iterable[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+        engine: Optional[str] = None,
     ) -> List[RunOutcome]:
         specs = list(specs)
         if not specs:
             return []
         if self.workers == 1 or len(specs) == 1:
-            return SerialExecutor().run(specs, progress=progress)
+            return SerialExecutor().run(specs, progress=progress, engine=engine)
 
         chunksize = self.chunksize or max(1, math.ceil(len(specs) / (4 * self.workers)))
         chunks = [specs[i : i + chunksize] for i in range(0, len(specs), chunksize)]
@@ -224,7 +239,7 @@ class ParallelExecutor(Executor):
             max_workers=min(self.workers, len(chunks)), mp_context=ctx
         ) as pool:
             futures = {
-                pool.submit(_execute_chunk, chunk): start
+                pool.submit(_execute_chunk, chunk, engine): start
                 for chunk, start in zip(chunks, range(0, len(specs), chunksize))
             }
             for future in as_completed(futures):
@@ -240,7 +255,7 @@ class ParallelExecutor(Executor):
 
         for start in sorted(retry):
             for i, spec in enumerate(specs[start : start + chunksize]):
-                land(start + i, [self._run_isolated(spec, ctx)])
+                land(start + i, [self._run_isolated(spec, ctx, engine=engine)])
 
         if any(r is None for r in results):  # lost future / short chunk: a bug
             raise RuntimeError(
@@ -304,12 +319,12 @@ class ParallelExecutor(Executor):
         return [r for r in results if r is not None]
 
     @staticmethod
-    def _run_isolated(spec: RunSpec, ctx) -> RunOutcome:
+    def _run_isolated(spec: RunSpec, ctx, engine: Optional[str] = None) -> RunOutcome:
         """Run one spec in a throwaway single-worker pool, so a spec that
         crashes its worker yields an errored outcome for itself only."""
         with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
             try:
-                return pool.submit(execute_spec, spec).result()
+                return pool.submit(execute_spec, spec, engine).result()
             except Exception as exc:
                 return RunOutcome(
                     spec=spec, error=str(exc) or repr(exc), error_type=type(exc).__name__

@@ -564,13 +564,19 @@ def execute_batch_spec(batch: BatchRunSpec) -> List[RunOutcome]:
     return [o for o in outcomes if o is not None]
 
 
-def execute_spec(spec: RunSpec) -> RunOutcome:
+def execute_spec(spec: RunSpec, engine: Optional[str] = None) -> RunOutcome:
     """Run one spec to completion, isolating any failure in the outcome.
 
     This is the (module-level, hence picklable) function parallel workers
     execute.  It never raises: a :class:`ProtocolViolation`, a UXS
     certification failure, or a bad spec becomes an errored outcome so one
     poisoned run cannot kill a batch.
+
+    ``engine`` pins a scalar simulation backend by name (see
+    :func:`repro.sim.engines.list_engines`); ``None`` keeps the default.
+    It is an *execution* parameter, like the executor choice — it never
+    enters the spec or its cache key, because conforming backends return
+    bit-identical records.
     """
     start = time.perf_counter()
     try:
@@ -589,6 +595,7 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
             activation=spec.activation,
             activation_args=dict(spec.activation_args),
             fault_plan=spec.fault_plan(),
+            engine=engine,
         )
         return RunOutcome(spec=spec, run=rec, elapsed=time.perf_counter() - start)
     except Exception as exc:

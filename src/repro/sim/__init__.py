@@ -23,7 +23,14 @@ actual movement only.
 The robot-facing API deliberately hides node identities: an observation
 exposes only the current node's degree, the entry port of the last move, and
 co-located cards — exactly the information the model grants.
+
+Execution backends live behind the engine protocol (:mod:`repro.sim.engine`)
+and register by name in :mod:`repro.sim.engines`; ``World.run(engine=...)``
+selects one, and all conforming backends return bit-identical results (see
+docs/ENGINES.md).
 """
+
+import warnings
 
 from repro.sim.actions import Action, Observation
 from repro.sim.activation import (
@@ -33,7 +40,13 @@ from repro.sim.activation import (
     SynchronousActivation,
     build_activation,
 )
-from repro.sim.batch import BatchSummary, ReplicaBatch, ReplicaOutcome
+from repro.sim.engine import (
+    Engine,
+    EngineCapabilities,
+    EngineRequest,
+    UnsupportedFeature,
+)
+from repro.sim.engines import DEFAULT_ENGINE, get_engine, list_engines
 from repro.sim.robot import RobotContext, RobotSpec
 from repro.sim.world import World, RunResult
 from repro.sim.errors import (
@@ -52,6 +65,13 @@ __all__ = [
     "RoundRobinActivation",
     "AdversarialActivation",
     "build_activation",
+    "Engine",
+    "EngineCapabilities",
+    "EngineRequest",
+    "UnsupportedFeature",
+    "DEFAULT_ENGINE",
+    "get_engine",
+    "list_engines",
     "RobotContext",
     "RobotSpec",
     "World",
@@ -66,3 +86,24 @@ __all__ = [
     "TraceRecorder",
     "Event",
 ]
+
+#: Names that used to be eager re-exports and are now served lazily with a
+#: deprecation warning: the replica engine is an engine *backend* — select
+#: it as ``engine="batch-list"/"batch-numpy"`` (or import the classes from
+#: :mod:`repro.sim.batch` directly when driving it by hand).
+_DEPRECATED_REEXPORTS = {"ReplicaBatch", "ReplicaOutcome", "BatchSummary"}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_REEXPORTS:
+        warnings.warn(
+            f"importing {name} from repro.sim is deprecated; import it from "
+            f"repro.sim.batch, or select the backend by name via the engine "
+            f"registry (repro.sim.engines, docs/ENGINES.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.sim import batch as _batch
+
+        return getattr(_batch, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

@@ -106,6 +106,12 @@ class Scheduler:
     #: set this to ``False``; the arrays then exist but are never trusted.
     _uses_soa = True
 
+    #: Whether ``_step`` may enter the struct-of-arrays hot loop at all.
+    #: The ``incremental`` engine backend (:mod:`repro.sim.engines`) sets
+    #: this to ``False`` to pin the general path for every round — the
+    #: PR-2 execution regime, kept addressable for differential testing.
+    _soa_enabled = True
+
     def __init__(
         self,
         graph: PortGraph,
@@ -425,7 +431,8 @@ class Scheduler:
             return
 
         if (
-            self.activation is None
+            self._soa_enabled
+            and self.activation is None
             and self.trace is None
             and not self._followers_of
             and self._meet_sleepers == 0

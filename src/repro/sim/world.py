@@ -12,8 +12,12 @@ This is the user-facing entry point of the simulator::
     result = world.run()
     assert result.gathered and result.detected
 
-``World.run`` drives the :class:`~repro.sim.scheduler.Scheduler` to
-completion and packages a :class:`RunResult`.
+``World.run`` resolves a named backend from the engine registry
+(:mod:`repro.sim.engines`; the default is the optimized scalar
+:class:`~repro.sim.scheduler.Scheduler`), drives it to completion, and
+packages a :class:`RunResult`.  Pass ``engine="reference"`` (or any name
+from :func:`repro.sim.engines.list_engines`) to pin a specific backend —
+results are bit-identical across conforming backends.
 """
 
 from __future__ import annotations
@@ -89,6 +93,7 @@ class World:
         stop_on_gather: bool = False,
         replay=None,
         activation=None,
+        engine: Optional[str] = None,
     ) -> RunResult:
         """Run to completion (every robot terminated) and collect results.
 
@@ -102,17 +107,31 @@ class World:
         ``activation`` — an optional :class:`repro.sim.activation.
         ActivationModel` weakening the synchronous discipline; ``None``
         keeps the paper's fully synchronous model.
+
+        ``engine`` — a backend name from :func:`repro.sim.engines.
+        list_engines` (``None`` uses the default scalar scheduler).  All
+        conforming backends return bit-identical results; a backend asked
+        for a feature it lacks raises :class:`repro.sim.engine.
+        UnsupportedFeature` before any round executes.  See
+        ``docs/ENGINES.md``.
         """
-        sched = Scheduler(
-            self.graph,
-            self.robots,
-            trace=trace,
-            strict=self.strict,
-            replay=replay,
-            activation=activation,
+        # Imported here, not at the top: the engine registry imports this
+        # module (package_result, DEFAULT_MAX_ROUNDS) to build its adapters.
+        from repro.sim.engine import EngineRequest
+        from repro.sim.engines import resolve_engine
+
+        engine_cls = resolve_engine(engine)
+        backend = engine_cls(
+            EngineRequest(
+                graph=self.graph,
+                robots=self.robots,
+                strict=self.strict,
+                trace=trace,
+                replay=replay,
+                activation=activation,
+            )
         )
-        sched.run(max_rounds=max_rounds, stop_on_gather=stop_on_gather)
-        return package_result(sched)
+        return backend.run(max_rounds=max_rounds, stop_on_gather=stop_on_gather)
 
 
 def package_result(sched: Scheduler) -> RunResult:

@@ -111,6 +111,59 @@ class TestReplicaFlags:
             main(["sweep", "--scenario", "clean-sync", "--k", "5"])
 
 
+class TestEngineFlag:
+    def test_sweep_engine_batch_rows_equal_legacy_batch_rows(self, capsys):
+        argv = ["sweep", "--ns", "8", "--replicas", "3", "--workers", "1"]
+        assert main(argv + ["--engine", "batch-list"]) == 0
+        engine_out = capsys.readouterr().out.splitlines()
+        assert main(argv + ["--batch"]) == 0
+        legacy_out = capsys.readouterr().out.splitlines()
+        table_e = [l for l in engine_out if "|" in l or "slope" in l]
+        table_l = [l for l in legacy_out if "|" in l or "slope" in l]
+        assert table_e == table_l
+        assert any("(2 batched)" in l for l in engine_out)
+        assert any("engine=batch-list" in l for l in engine_out)
+
+    def test_sweep_scalar_engines_match_default(self, capsys):
+        def table(lines):
+            return [l for l in lines if "|" in l or "slope" in l]
+
+        argv = ["sweep", "--ns", "8", "12", "--workers", "1"]
+        assert main(argv) == 0
+        default_table = table(capsys.readouterr().out.splitlines())
+        for name in ("reference", "incremental", "soa"):
+            assert main(argv + ["--engine", name]) == 0
+            lines = capsys.readouterr().out.splitlines()
+            assert table(lines) == default_table, name
+            assert any(f"engine={name}" in l for l in lines), name
+
+    def test_batch_flag_warns_deprecated_on_stderr(self, capsys):
+        rc = main(["sweep", "--ns", "8", "--replicas", "2", "--batch",
+                   "--workers", "1"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "--batch is deprecated" in err
+        assert "--engine batch-numpy" in err
+
+    def test_explicit_engine_wins_over_legacy_batch(self, capsys):
+        rc = main(["sweep", "--ns", "8", "--replicas", "2", "--batch",
+                   "--engine", "soa", "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine=soa" in out
+        assert "batched" not in out  # nothing routed through the replica engine
+
+    def test_unknown_engine_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--ns", "8", "--engine", "warp-drive"])
+
+    def test_scenarios_run_engine_flag(self, capsys):
+        rc = main(["scenarios", "run", "clean-sync", "--replicas", "2",
+                   "--engine", "batch-list", "--workers", "1"])
+        assert rc == 0
+        assert "replica" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
