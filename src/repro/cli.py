@@ -16,6 +16,9 @@ Examples::
     python -m repro scenarios describe single-crash-waiter
     python -m repro scenarios run crash-storm --workers 2
     python -m repro sweep --scenario adversarial-activation
+    python -m repro fuzz run --seed 0 --budget 50 --corpus-dir .fuzz-corpus
+    python -m repro fuzz corpus --corpus-dir .fuzz-corpus
+    python -m repro fuzz replay --corpus-dir .fuzz-corpus
 
 The CLI is a thin shell over :mod:`repro.analysis` and :mod:`repro.runtime`:
 ``run``, ``sweep`` and ``report`` describe their work as
@@ -24,7 +27,9 @@ The CLI is a thin shell over :mod:`repro.analysis` and :mod:`repro.runtime`:
 worker processes (rows are identical to serial execution, just faster);
 ``--cache-dir DIR`` memoizes completed runs on disk so repeated
 invocations execute zero simulations.  ``scenarios`` exposes the curated
-registry of :mod:`repro.scenarios` (see docs/SCENARIOS.md).
+registry of :mod:`repro.scenarios` (see docs/SCENARIOS.md); ``fuzz``
+drives the adversarial schedule search of :mod:`repro.search` (see
+docs/FUZZING.md).
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ from repro.runtime import (
     replicate_spec,
 )
 from repro.scenarios import all_scenarios, get_scenario, scenario_names
+from repro.search.space import target_names
 from repro.sim.batch import HAVE_NUMPY
 
 __all__ = ["main"]
@@ -451,6 +457,145 @@ def cmd_scenarios_run(args) -> int:
     return 0 if summary["failures"] == 0 else 1
 
 
+def _fuzz_row(result) -> Dict[str, Any]:
+    plan = result.spec.fault_plan()
+    return {
+        "target": result.genome.target,
+        "activation": result.genome.activation,
+        "faults": plan.describe() if plan else "none",
+        "rounds": result.rounds,
+        "baseline": result.baseline_rounds,
+        "regret": result.regret,
+        "bound": result.bound,
+        "key": result.key[:10],
+    }
+
+
+def cmd_fuzz_run(args) -> int:
+    from repro.search import FuzzCampaign, entry_from_result, save_entry
+
+    campaign = FuzzCampaign(
+        seed=args.seed,
+        budget=args.budget,
+        targets=args.targets,
+        engine=args.engine,
+        cache=make_cache(args),
+        executor=make_executor(args),
+        explore=args.explore,
+        min_regret=args.min_regret,
+    )
+    progress = None
+    if args.verbose:
+
+        def progress(r):
+            status = f"regret={r.regret}" if r.ok else f"aborted ({r.error_type})"
+            print(f"  [{r.iteration + 1}/{args.budget}] {r.genome.target}: {status}")
+
+    report = campaign.run(progress=progress)
+    print(
+        f"fuzz campaign: seed={args.seed}, budget={args.budget} — "
+        f"{len(report.positives)} positive-regret candidates, "
+        f"{len(report.aborted)} aborted"
+    )
+    if report.minimized:
+        rows = [_fuzz_row(r) for r in report.minimized]
+        print()
+        print(render_table(
+            rows,
+            title=f"{len(rows)} minimized worst cases (regret >= {args.min_regret})",
+        ))
+    else:
+        print(f"no schedule reached regret >= {args.min_regret} within budget")
+    if args.corpus_dir and report.minimized:
+        paths = []
+        for r in report.minimized:
+            entry = entry_from_result(
+                r,
+                found={"seed": args.seed, "budget": args.budget, "iteration": r.iteration},
+            )
+            paths.append(save_entry(entry, args.corpus_dir))
+        print(f"\ncorpus: wrote {len(paths)} entries to {args.corpus_dir}")
+        for p in paths:
+            print(f"  {p.name}")
+    if runtime_requested(args):
+        print(f"\n{report.stats.summary()} — fuzz seed={args.seed}")
+    return 0
+
+
+def cmd_fuzz_corpus(args) -> int:
+    from repro.search import load_corpus, register_corpus
+
+    entries = load_corpus(args.corpus_dir)
+    if not entries:
+        print(f"no corpus entries in {args.corpus_dir}")
+        return 1
+    rows = [
+        {
+            "entry": e.name,
+            "target": e.target,
+            "rounds": e.rounds,
+            "baseline": e.baseline_rounds,
+            "regret": e.regret,
+            "bound": e.bound,
+            "found": f"seed {e.found.get('seed', '?')}",
+        }
+        for e in entries
+    ]
+    print(render_table(rows, title=f"{len(entries)} corpus entries in {args.corpus_dir}"))
+    if args.register:
+        scenarios = register_corpus(entries, replace=True)
+        print("\nregistered as scenarios (in this process):")
+        for sc in scenarios:
+            print(f"  {sc.name}")
+        print("(inspect with: python -m repro scenarios describe NAME)")
+    return 0
+
+
+def cmd_fuzz_replay(args) -> int:
+    from repro.search import load_corpus, replay_entry, replayable_engines
+
+    entries = load_corpus(args.corpus_dir)
+    if not entries:
+        print(f"no corpus entries in {args.corpus_dir}")
+        return 1
+    cache = make_cache(args)
+    executor = make_executor(args)
+    stats = ExecutionStats()
+    rows = []
+    failures = 0
+    for entry in entries:
+        supported = replayable_engines(entry.spec)
+        engines = [args.engine] if args.engine else supported
+        for engine in engines:
+            if engine not in supported:
+                rows.append({
+                    "entry": entry.name,
+                    "engine": engine,
+                    "rounds": None,
+                    "expected": entry.rounds,
+                    "bit_identical": "skipped (unsupported activation)",
+                })
+                continue
+            out = replay_entry(
+                entry, engine=engine, cache=cache, executor=executor, stats=stats
+            )
+            if not out.matches:
+                failures += 1
+            rows.append({
+                "entry": entry.name,
+                "engine": engine or "default",
+                "rounds": out.record.rounds if out.ok else out.error,
+                "expected": entry.rounds,
+                "bit_identical": out.matches,
+            })
+    print(render_table(rows, title=f"corpus replay: {len(entries)} entries"))
+    verdict = "all replays bit-identical" if failures == 0 else f"{failures} replays diverged"
+    print(f"\n{verdict}")
+    if runtime_requested(args):
+        print(f"{stats.summary()} — fuzz replay")
+    return 0 if failures == 0 else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -565,6 +710,51 @@ def make_parser() -> argparse.ArgumentParser:
     runtime_flags(sr)
     replica_flags(sr)
     sr.set_defaults(fn=cmd_scenarios_run)
+
+    pf = sub.add_parser("fuzz",
+                        help="adversarial schedule fuzzer (see docs/FUZZING.md)")
+    fuzz_sub = pf.add_subparsers(dest="fuzz_command", required=True)
+
+    def engine_flag(sp):
+        sp.add_argument("--engine", choices=list_engines(), default=None,
+                        help="simulation backend to execute under "
+                             "(default: the optimized scalar scheduler)")
+
+    fr = fuzz_sub.add_parser("run",
+                             help="run a seeded campaign; minimize and save winners")
+    fr.add_argument("--seed", type=int, default=0,
+                    help="campaign seed: same seed + budget = same campaign")
+    fr.add_argument("--budget", type=positive_int, default=50,
+                    help="candidate schedules to evaluate (default 50)")
+    fr.add_argument("--corpus-dir", type=str, default=None,
+                    help="write minimized winners as JSON corpus entries here")
+    fr.add_argument("--targets", nargs="+", choices=target_names(), default=None,
+                    help="restrict the search to these targets (default: all)")
+    fr.add_argument("--explore", type=float, default=0.4,
+                    help="fresh-sample probability; the rest mutates prior "
+                         "positive-regret schedules (default 0.4)")
+    fr.add_argument("--min-regret", type=int, default=1,
+                    help="minimize/serialize only winners at or above this "
+                         "regret (default 1)")
+    fr.add_argument("--verbose", action="store_true",
+                    help="print every evaluated candidate")
+    engine_flag(fr)
+    runtime_flags(fr)
+    fr.set_defaults(fn=cmd_fuzz_run)
+
+    fc = fuzz_sub.add_parser("corpus", help="list saved corpus entries")
+    fc.add_argument("--corpus-dir", type=str, default=".fuzz-corpus")
+    fc.add_argument("--register", action="store_true",
+                    help="also register each entry as a scenario in this "
+                         "process and print the registered names")
+    fc.set_defaults(fn=cmd_fuzz_corpus)
+
+    fp = fuzz_sub.add_parser("replay",
+                             help="replay corpus entries bit-identically across engines")
+    fp.add_argument("--corpus-dir", type=str, default=".fuzz-corpus")
+    engine_flag(fp)
+    runtime_flags(fp)
+    fp.set_defaults(fn=cmd_fuzz_replay)
 
     return p
 

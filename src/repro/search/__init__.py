@@ -1,0 +1,63 @@
+"""Generative adversarial schedule search (the fuzz campaign subsystem).
+
+The paper's round bounds are adversarial claims; the curated scenario
+registry probes them with hand-picked schedules.  This package searches
+for worst cases *generatively*: a seeded campaign samples schedules
+(activation interleavings × fault plans × placements) over small curated
+target instances, scores each run's **regret** — rounds past the
+clean-synchronous twin — through the ordinary runtime layer (so every run
+lands in the content-addressed :class:`~repro.runtime.cache.ResultCache`),
+greedily shrinks the winners to minimal reproducible schedules, and
+serializes them to a JSON corpus that registers as first-class
+:class:`~repro.scenarios.model.Scenario` entries.
+
+CLI: ``python -m repro fuzz run|corpus|replay`` — see ``docs/FUZZING.md``.
+"""
+
+from repro.search.campaign import CampaignReport, FuzzCampaign, FuzzResult
+from repro.search.corpus import (
+    CORPUS_SCHEMA,
+    CorpusEntry,
+    ReplayOutcome,
+    entry_from_result,
+    load_corpus,
+    load_entry,
+    register_corpus,
+    replay_entry,
+    replayable_engines,
+    save_entry,
+    scenario_for,
+)
+from repro.search.shrink import shrink_genome
+from repro.search.space import (
+    TARGETS,
+    FuzzTarget,
+    ScheduleGenome,
+    mutate_genome,
+    sample_genome,
+    target_names,
+)
+
+__all__ = [
+    "FuzzCampaign",
+    "CampaignReport",
+    "FuzzResult",
+    "FuzzTarget",
+    "ScheduleGenome",
+    "TARGETS",
+    "target_names",
+    "sample_genome",
+    "mutate_genome",
+    "shrink_genome",
+    "CORPUS_SCHEMA",
+    "CorpusEntry",
+    "ReplayOutcome",
+    "entry_from_result",
+    "save_entry",
+    "load_entry",
+    "load_corpus",
+    "register_corpus",
+    "replay_entry",
+    "replayable_engines",
+    "scenario_for",
+]

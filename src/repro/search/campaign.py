@@ -1,0 +1,273 @@
+"""The fuzz campaign driver: sample, execute, score, exploit, shrink.
+
+:class:`FuzzCampaign` runs a fixed-budget loop: a tunable controller
+proposes a schedule genome (random walk, biased toward genomes that
+previously raised rounds), the genome compiles to a
+:class:`~repro.runtime.spec.RunSpec`, and the spec — together with its
+clean-synchronous twin — executes through :func:`repro.runtime.api.
+execute`, so every run is failure-isolated, engine-dispatchable, and
+lands in the content-addressed result cache.  The score is **regret**:
+``rounds - twin.rounds``, how far past the paper-model baseline the
+schedule pushed the run.
+
+Aborted candidates (the oblivious schedules raise under non-synchronous
+activation; timeouts hit ``max_rounds``) are ordinary isolated outcomes:
+counted, reported, never corpus-worthy.  Everything is deterministic
+given the campaign seed — the controller's randomness never depends on
+wall clock or cache state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.api import ExecutionStats, execute
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.spec import RunOutcome, RunSpec
+from repro.scenarios.model import clean_twin
+from repro.search.shrink import shrink_genome
+from repro.search.space import (
+    ScheduleGenome,
+    get_target,
+    mutate_genome,
+    sample_genome,
+    target_names,
+)
+
+__all__ = ["FuzzResult", "CampaignReport", "FuzzCampaign"]
+
+
+@dataclass
+class FuzzResult:
+    """One evaluated genome: the compiled spec, its outcome, and the score."""
+
+    genome: ScheduleGenome
+    spec: RunSpec
+    key: str
+    iteration: int = -1
+    rounds: Optional[int] = None
+    baseline_rounds: Optional[int] = None
+    #: Full ``GatheringRun.to_dict()`` payload (what the corpus stores and
+    #: replays compare against, bit for bit).
+    record: Optional[Dict] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def regret(self) -> Optional[int]:
+        """Rounds past the clean-synchronous twin (the campaign's score)."""
+        if self.rounds is None or self.baseline_rounds is None:
+            return None
+        return self.rounds - self.baseline_rounds
+
+    @property
+    def bound(self) -> Optional[int]:
+        return get_target(self.genome.target).bound
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign found, plus the runtime accounting."""
+
+    seed: int
+    budget: int
+    results: List[FuzzResult] = field(default_factory=list)
+    #: Minimized winners (regret >= min_regret), one per distinct minimal
+    #: spec, sorted by descending regret.
+    minimized: List[FuzzResult] = field(default_factory=list)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    @property
+    def aborted(self) -> List[FuzzResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def positives(self) -> List[FuzzResult]:
+        return [r for r in self.results if r.ok and (r.regret or 0) > 0]
+
+    def best(self) -> Dict[str, FuzzResult]:
+        """Highest-regret successful result per target."""
+        out: Dict[str, FuzzResult] = {}
+        for r in self.results:
+            if not r.ok or r.regret is None:
+                continue
+            cur = out.get(r.genome.target)
+            if cur is None or r.regret > (cur.regret or 0):
+                out[r.genome.target] = r
+        return out
+
+
+class FuzzCampaign:
+    """A seeded, budgeted adversarial schedule search.
+
+    Parameters
+    ----------
+    seed:
+        Drives every sampling/mutation decision; same seed + same budget =
+        same campaign, byte for byte.
+    budget:
+        How many candidate schedules to evaluate.
+    targets:
+        Target names to explore (default: all of
+        :data:`repro.search.space.TARGETS`).
+    engine:
+        Backend name forwarded to :func:`execute` (``None`` = default).
+    cache / executor:
+        The ordinary runtime knobs; with a cache, a re-run campaign is
+        fully cache-hit.
+    explore:
+        Probability of a fresh random sample per iteration; the rest of
+        the mass mutates a previous positive-regret genome (weighted
+        toward higher regret).
+    pool:
+        How many elite genomes the controller keeps as mutation parents.
+    min_regret:
+        Winners below this regret are not minimized/serialized.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        budget: int = 50,
+        targets: Optional[List[str]] = None,
+        engine: Optional[str] = None,
+        cache: Optional[ResultCache] = None,
+        executor: Optional[Executor] = None,
+        explore: float = 0.4,
+        pool: int = 8,
+        min_regret: int = 1,
+    ):
+        if budget < 1:
+            raise ValueError("fuzz campaign needs budget >= 1")
+        if not 0.0 <= explore <= 1.0:
+            raise ValueError("explore must be in [0, 1]")
+        unknown = set(targets or []) - set(target_names())
+        if unknown:
+            raise ValueError(
+                f"unknown fuzz targets {sorted(unknown)}; "
+                f"registered targets: {target_names()}"
+            )
+        self.seed = seed
+        self.budget = budget
+        self.targets = sorted(targets) if targets else target_names()
+        self.engine = engine
+        self.cache = cache
+        self.executor = executor
+        self.explore = explore
+        self.pool = pool
+        self.min_regret = min_regret
+        self.stats = ExecutionStats()
+        self._rng = random.Random(seed)
+        self._elites: List[FuzzResult] = []
+        #: canonical_json -> outcome; keeps the campaign (and the shrinker)
+        #: from re-running a spec even without a disk cache.
+        self._memo: Dict[str, RunOutcome] = {}
+
+    # -- execution ---------------------------------------------------------
+    def _outcome(self, spec: RunSpec) -> RunOutcome:
+        key = spec.canonical_json()
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            return memoized
+        out = execute(
+            [spec],
+            executor=self.executor,
+            cache=self.cache,
+            engine=self.engine,
+            stats=self.stats,
+        ).outcomes[0]
+        self._memo[key] = out
+        return out
+
+    def evaluate(self, genome: ScheduleGenome, iteration: int = -1) -> FuzzResult:
+        """Run one genome (and its clean twin) and score it."""
+        spec = genome.compile()
+        result = FuzzResult(
+            genome=genome,
+            spec=spec,
+            key=ResultCache.key_for(spec),
+            iteration=iteration,
+        )
+        out = self._outcome(spec)
+        if not out.ok:
+            result.error = out.error
+            result.error_type = out.error_type
+            return result
+        result.rounds = out.run.rounds
+        result.record = out.run.to_dict()
+        twin = clean_twin(spec)
+        twin_out = self._outcome(twin)
+        if twin_out.ok:
+            result.baseline_rounds = twin_out.run.rounds
+        else:  # pragma: no cover - curated targets always run clean
+            result.error = f"clean twin failed: {twin_out.error}"
+            result.error_type = twin_out.error_type
+        return result
+
+    # -- controller --------------------------------------------------------
+    def _propose(self) -> ScheduleGenome:
+        if self._elites and self._rng.random() >= self.explore:
+            # weight parents by regret so the walk drifts toward schedules
+            # that already raised rounds (simsched's good-sequence bias)
+            weights = [max(r.regret or 0, 1) for r in self._elites]
+            parent = self._rng.choices(self._elites, weights=weights, k=1)[0]
+            return mutate_genome(parent.genome, self._rng)
+        return sample_genome(self._rng, self.targets)
+
+    def _observe(self, result: FuzzResult) -> None:
+        if result.ok and (result.regret or 0) > 0:
+            self._elites.append(result)
+            self._elites.sort(key=lambda r: -(r.regret or 0))
+            del self._elites[self.pool :]
+
+    # -- the campaign ------------------------------------------------------
+    def run(
+        self, progress: Optional[Callable[[FuzzResult], None]] = None
+    ) -> CampaignReport:
+        """Run the full budget, then minimize the winners.
+
+        ``progress`` (if given) fires once per evaluated candidate.
+        """
+        report = CampaignReport(seed=self.seed, budget=self.budget, stats=self.stats)
+        for i in range(self.budget):
+            result = self.evaluate(self._propose(), iteration=i)
+            self._observe(result)
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
+        report.minimized = self._minimize_winners(report)
+        return report
+
+    def _minimize_winners(self, report: CampaignReport) -> List[FuzzResult]:
+        """Shrink the best result per target; dedup identical minima."""
+        minimized: Dict[str, FuzzResult] = {}
+        for target, best in sorted(report.best().items()):
+            if (best.regret or 0) < self.min_regret:
+                continue
+            small = self.minimize(best)
+            minimized.setdefault(small.key, small)
+        return sorted(
+            minimized.values(), key=lambda r: (-(r.regret or 0), r.key)
+        )
+
+    def minimize(self, result: FuzzResult, max_evals: int = 200) -> FuzzResult:
+        """Greedily shrink a winner while preserving its regret."""
+        target_regret = result.regret
+        if target_regret is None:
+            raise ValueError("cannot minimize an errored result")
+
+        def predicate(genome: ScheduleGenome) -> Optional[FuzzResult]:
+            candidate = self.evaluate(genome, iteration=result.iteration)
+            if candidate.ok and (candidate.regret or 0) >= target_regret:
+                return candidate
+            return None
+
+        small = shrink_genome(result.genome, predicate, max_evals=max_evals)
+        return small if small is not None else result

@@ -1,0 +1,291 @@
+"""The fuzz corpus: minimized worst cases as JSON, replayable as scenarios.
+
+One corpus entry is one minimized schedule: the genome, its compiled
+:class:`~repro.runtime.spec.RunSpec` payload, the full result record it
+reproduced, the clean-twin baseline, and the content-addressed cache key
+(the SHA-256 of the spec's canonical JSON — the same identity
+``scenarios describe`` prints and the result cache files are named by).
+Entries are one-file-per-case JSON in a corpus directory, safe to commit,
+diff, and upload as CI artifacts.
+
+``register_corpus`` turns entries into first-class
+:class:`~repro.scenarios.model.Scenario` registrations, so a found case
+immediately gains everything curated scenarios have: ``scenarios
+describe`` identity printing, ``scenarios run`` fault metrics with
+clean-twin deltas, and sweep-level caching.
+
+Replay is cross-engine: ``replay_entry`` re-executes the spec under a
+named backend and compares the **entire** result record bit-for-bit
+against the stored one.  :func:`replayable_engines` scopes the engine
+list — the seed reference scheduler refuses non-synchronous activation by
+contract (``supports_activation=False``), so activation-carrying entries
+replay under every engine except ``reference``; fault-plan entries (plain
+program wrappers, invisible to engines) replay under all five.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.experiments import GatheringRun
+from repro.runtime.api import ExecutionStats, execute
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.spec import SPEC_SCHEMA, RunSpec
+from repro.scenarios.model import Scenario, clean_twin
+from repro.scenarios.registry import register_scenario
+from repro.search.space import ScheduleGenome, get_target
+from repro.sim.engines import get_engine, list_engines
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CorpusEntry",
+    "entry_from_result",
+    "save_entry",
+    "load_entry",
+    "load_corpus",
+    "scenario_for",
+    "register_corpus",
+    "replayable_engines",
+    "ReplayOutcome",
+    "replay_entry",
+]
+
+#: Bumped when the entry format changes; old corpora fail loudly, not
+#: silently misreplay.
+CORPUS_SCHEMA = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One minimized worst case, fully self-describing."""
+
+    name: str
+    target: str
+    genome: ScheduleGenome
+    spec: RunSpec
+    #: SHA-256 of ``spec.canonical_json()`` — the result-cache identity.
+    key: str
+    rounds: int
+    baseline_rounds: int
+    record: Dict[str, Any]
+    #: The paper's round bound for the clean target, when known.
+    bound: Optional[int] = None
+    #: Provenance: campaign seed/budget/iteration that found the raw case.
+    found: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def regret(self) -> int:
+        return self.rounds - self.baseline_rounds
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "spec_schema": SPEC_SCHEMA,
+            "name": self.name,
+            "target": self.target,
+            "genome": self.genome.to_dict(),
+            "spec": asdict(self.spec),
+            "key": self.key,
+            "rounds": self.rounds,
+            "baseline_rounds": self.baseline_rounds,
+            "regret": self.regret,
+            "bound": self.bound,
+            "record": self.record,
+            "found": dict(self.found),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CorpusEntry":
+        if payload.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(
+                f"corpus entry {payload.get('name')!r} has schema "
+                f"{payload.get('schema')!r}; this build reads {CORPUS_SCHEMA}"
+            )
+        if payload.get("spec_schema") != SPEC_SCHEMA:
+            raise ValueError(
+                f"corpus entry {payload.get('name')!r} was written against "
+                f"spec schema {payload.get('spec_schema')!r}; this build uses "
+                f"{SPEC_SCHEMA} — its cache identity would not replay"
+            )
+        spec = RunSpec(**payload["spec"])
+        key = ResultCache.key_for(spec)
+        if key != payload["key"]:
+            raise ValueError(
+                f"corpus entry {payload.get('name')!r}: stored cache key "
+                f"{payload['key'][:12]}… does not match the recomputed spec "
+                f"identity {key[:12]}… (edited or corrupted entry)"
+            )
+        return cls(
+            name=payload["name"],
+            target=payload["target"],
+            genome=ScheduleGenome.from_dict(payload["genome"]),
+            spec=spec,
+            key=key,
+            rounds=payload["rounds"],
+            baseline_rounds=payload["baseline_rounds"],
+            record=dict(payload["record"]),
+            bound=payload.get("bound"),
+            found=dict(payload.get("found", {})),
+        )
+
+
+def entry_from_result(result, found: Optional[Dict[str, Any]] = None) -> CorpusEntry:
+    """Build an entry from a successful :class:`~repro.search.campaign.
+    FuzzResult` (normally a minimized one)."""
+    if not result.ok or result.regret is None or result.record is None:
+        raise ValueError("only successful, scored results enter the corpus")
+    key = ResultCache.key_for(result.spec)
+    return CorpusEntry(
+        name=f"fuzz-{result.genome.target}-{key[:10]}",
+        target=result.genome.target,
+        genome=result.genome,
+        spec=result.spec,
+        key=key,
+        rounds=result.rounds,
+        baseline_rounds=result.baseline_rounds,
+        record=dict(result.record),
+        bound=get_target(result.genome.target).bound,
+        found=dict(found or {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Disk format
+# ---------------------------------------------------------------------------
+
+
+def save_entry(entry: CorpusEntry, corpus_dir: Union[str, Path]) -> Path:
+    """Write one entry as ``<corpus_dir>/<name>.json`` (pretty, sorted)."""
+    root = Path(corpus_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.to_payload(), sort_keys=True, indent=1) + "\n")
+    return path
+
+
+def load_entry(path: Union[str, Path]) -> CorpusEntry:
+    return CorpusEntry.from_payload(json.loads(Path(path).read_text()))
+
+
+def load_corpus(corpus_dir: Union[str, Path]) -> List[CorpusEntry]:
+    """All entries in a corpus directory, sorted by name (stable order)."""
+    root = Path(corpus_dir)
+    return [load_entry(p) for p in sorted(root.glob("*.json"))]
+
+
+# ---------------------------------------------------------------------------
+# Scenario registration
+# ---------------------------------------------------------------------------
+
+
+def scenario_for(entry: CorpusEntry) -> Scenario:
+    """The first-class :class:`Scenario` form of a corpus entry."""
+    target = get_target(entry.target)
+    bound_note = (
+        f"  Paper bound for the clean target: {entry.bound} rounds."
+        if entry.bound is not None
+        else ""
+    )
+    return Scenario(
+        name=entry.name,
+        title=f"Fuzzer-found worst case on {entry.target} (regret +{entry.regret})",
+        description=(
+            f"Minimized schedule found by the adversarial fuzz campaign "
+            f"(seed {entry.found.get('seed', '?')}, iteration "
+            f"{entry.found.get('iteration', '?')}) against "
+            f"{target.description or entry.target}.{bound_note}"
+        ),
+        expectation=(
+            f"Replays bit-identically under every supporting engine: "
+            f"rounds={entry.rounds}, {entry.regret} past the clean-sync twin "
+            f"({entry.baseline_rounds})."
+        ),
+        specs=(entry.spec,),
+        tags=("fuzz", entry.target),
+        paper="adversarial schedule search (docs/FUZZING.md)",
+    )
+
+
+def register_corpus(
+    corpus: Union[str, Path, List[CorpusEntry]], replace: bool = False
+) -> List[Scenario]:
+    """Register every corpus entry as a scenario; returns the scenarios.
+
+    Accepts a directory or a loaded entry list.  Auto-registered entries
+    are ordinary registry citizens — remove them with
+    :func:`repro.scenarios.registry.unregister_scenario`.
+    """
+    entries = corpus if isinstance(corpus, list) else load_corpus(corpus)
+    return [register_scenario(scenario_for(e), replace=replace) for e in entries]
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def replayable_engines(spec: RunSpec) -> List[str]:
+    """Engines that can replay ``spec`` through :func:`execute`.
+
+    Fault plans are program-level wrappers, invisible to every engine.
+    Non-synchronous activation is a scheduler feature: the seed reference
+    engine declares ``supports_activation=False`` and refuses by contract.
+    Batch engines always qualify — ``execute`` routes non-clean or
+    ungroupable specs through the default scalar path, as documented.
+    """
+    needs_activation = spec.activation != "sync" or bool(spec.activation_args)
+    names = []
+    for name in list_engines():
+        caps = get_engine(name).capabilities
+        if caps.supports_batch or caps.supports_activation or not needs_activation:
+            names.append(name)
+    return names
+
+
+@dataclass
+class ReplayOutcome:
+    """One entry replayed under one engine, compared to the stored record."""
+
+    entry: CorpusEntry
+    engine: Optional[str]
+    record: Optional[GatheringRun] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None and self.error is None
+
+    @property
+    def matches(self) -> bool:
+        """Bit-identical to the stored record (every field, incl. per-robot
+        stats and metrics extras)."""
+        return self.ok and self.record.to_dict() == self.entry.record
+
+
+def replay_entry(
+    entry: CorpusEntry,
+    engine: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+    stats: Optional[ExecutionStats] = None,
+) -> ReplayOutcome:
+    """Re-execute one corpus entry under ``engine`` and compare records.
+
+    Also re-runs the clean twin so the baseline lands in (or hits) the
+    same cache the campaign used.
+    """
+    result = execute(
+        [entry.spec, clean_twin(entry.spec)],
+        executor=executor,
+        cache=cache,
+        engine=engine,
+        stats=stats,
+    )
+    out = result.outcomes[0]
+    if not out.ok:
+        return ReplayOutcome(entry=entry, engine=engine, error=out.error)
+    return ReplayOutcome(entry=entry, engine=engine, record=out.run)

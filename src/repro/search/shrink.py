@@ -1,0 +1,107 @@
+"""Greedy trace minimization for found schedules.
+
+A raw winner usually carries freight: fault entries that don't matter,
+values larger than needed, seed re-rolls that changed nothing.  The
+shrinker walks a fixed candidate order — drop whole genes first, then
+shrink values toward their floors — re-running each candidate through the
+campaign's (memoized, cached) evaluator and keeping it only when the
+property holds, to a fixpoint.  The property is the caller's: the
+campaign passes "regret is still at least the winner's regret", so the
+minimized schedule reproduces the *same* worst case, not a weaker one.
+
+Deterministic: candidate order is a pure function of the genome, and
+evaluation is deterministic, so the same winner always shrinks to the
+same minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.search.space import ScheduleGenome
+
+__all__ = ["shrink_candidates", "shrink_genome"]
+
+R = TypeVar("R")
+
+
+def _without(table: dict, key: str) -> dict:
+    out = {k: v for k, v in table.items() if k != key}
+    return out
+
+
+def shrink_candidates(genome: ScheduleGenome) -> Iterator[ScheduleGenome]:
+    """Strictly-simpler variants of ``genome``, most aggressive first.
+
+    Order: drop seed re-rolls, drop whole fault entries, shrink fault
+    values (halve, then floor), then simplify activation options (smaller
+    budgets/groups, canonical rate/bias/seed).
+    """
+    if genome.placement_seed is not None:
+        yield replace(genome, placement_seed=None)
+    if genome.labels_seed is not None:
+        yield replace(genome, labels_seed=None)
+
+    for kind in sorted(genome.faults):
+        table = genome.faults[kind]
+        for index in sorted(table, key=int):
+            smaller = {k: t for k, t in genome.faults.items() if k != kind}
+            rest = _without(table, index)
+            if rest:
+                smaller[kind] = rest
+            yield replace(genome, faults=smaller)
+    for kind in sorted(genome.faults):
+        floor = 1 if kind == "delay" else 0
+        table = genome.faults[kind]
+        for index in sorted(table, key=int):
+            value = table[index]
+            for candidate in (floor, value // 2):
+                if floor <= candidate < value:
+                    shrunk = {k: dict(t) for k, t in genome.faults.items()}
+                    shrunk[kind][index] = candidate
+                    yield replace(genome, faults=shrunk)
+
+    args = genome.activation_args
+    if genome.activation != "sync":
+        for key, floor in (("budget", 1), ("groups", 2)):
+            if args.get(key, floor) > floor:
+                yield replace(genome, activation_args={**args, key: floor})
+        if args.get("rate") not in (None, 0.5):
+            yield replace(genome, activation_args={**args, "rate": 0.5})
+        if args.get("bias") not in (None, 4.0):
+            yield replace(genome, activation_args={**args, "bias": 4.0})
+        if args.get("seed", 0) != 0:
+            yield replace(genome, activation_args={**args, "seed": 0})
+
+
+def shrink_genome(
+    genome: ScheduleGenome,
+    predicate: Callable[[ScheduleGenome], Optional[R]],
+    max_evals: int = 200,
+) -> Optional[R]:
+    """Greedy shrink to a fixpoint.
+
+    ``predicate(candidate)`` returns a truthy result when the candidate
+    still exhibits the property (the campaign returns the re-evaluated
+    :class:`~repro.search.campaign.FuzzResult`), or ``None`` to reject.
+    Returns the predicate's result for the smallest accepted genome, or
+    ``None`` if no candidate was ever accepted (the input is already
+    minimal — callers keep the original).  ``max_evals`` bounds predicate
+    calls so a pathological plateau cannot stall a campaign.
+    """
+    best: Optional[R] = None
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in shrink_candidates(genome):
+            if evals >= max_evals:
+                break
+            evals += 1
+            result = predicate(candidate)
+            if result is not None:
+                genome, best = candidate, result
+                improved = True
+                break
+    return best

@@ -1,0 +1,311 @@
+"""The fuzzer's search space: curated targets × schedule genomes.
+
+A **target** is a small, fast, fully seed-pinned base experiment the
+campaign perturbs — the same instances the curated scenarios built their
+fault and activation studies on, so every found schedule is directly
+comparable to hand-curated results.  A **genome** is the declarative
+perturbation: a fault table, an activation model, and optional
+placement/label seed re-rolls.  Compiling a genome yields an ordinary
+:class:`~repro.runtime.spec.RunSpec`, which is the whole trick — found
+schedules inherit caching, parallel execution, engine dispatch, and
+scenario registration for free.
+
+Two mode families, because the two schedule classes break differently
+(see the scenario registry's module docstring):
+
+* ``"faults"`` targets run the paper's oblivious schedules, which
+  complete under crash/delay campaigns (damage shows up as mis-detection
+  or extra rounds, never as an exception);
+* ``"activation"`` targets run the schedule-free baselines — the only
+  algorithms that survive non-synchronous activation (the oblivious
+  schedules detect the desync and abort, which the campaign records as an
+  aborted candidate, not a find).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import bounds
+from repro.runtime.spec import RunSpec
+
+__all__ = [
+    "FuzzTarget",
+    "ScheduleGenome",
+    "TARGETS",
+    "target_names",
+    "sample_genome",
+    "mutate_genome",
+]
+
+
+@dataclass(frozen=True)
+class FuzzTarget:
+    """One curated base instance the campaign perturbs."""
+
+    name: str
+    base: RunSpec
+    #: Which genome families apply: ``"faults"`` and/or ``"activation"``.
+    modes: Tuple[str, ...]
+    #: The paper's round bound for the *clean* run, when the schedule
+    #: arithmetic gives one (reported next to found regret).
+    bound: Optional[int] = None
+    description: str = ""
+
+
+#: Undispersed placement on ring(8) with seed 8: starts ``[5, 3, 3]`` —
+#: index 0 the lone waiter, indices 1–2 the co-located pair (the same
+#: geometry the curated fault scenarios use).
+_WAITER_SEED = 8
+
+TARGETS: Dict[str, FuzzTarget] = {
+    t.name: t
+    for t in (
+        FuzzTarget(
+            name="undispersed-ring8",
+            base=RunSpec(
+                algorithm="undispersed",
+                family="ring",
+                graph={"n": 8},
+                placement="undispersed",
+                k=3,
+                placement_args={"seed": _WAITER_SEED},
+                labels_args={"seed": _WAITER_SEED},
+                uses_uxs=False,
+                max_rounds=100_000,
+            ),
+            modes=("faults",),
+            bound=bounds.undispersed_rounds(8),
+            description="Undispersed-Gathering waiter/pair geometry on ring(8)",
+        ),
+        FuzzTarget(
+            name="faster-ring8",
+            base=RunSpec(
+                algorithm="faster",
+                family="ring",
+                graph={"n": 8},
+                placement="scatter",
+                k=5,
+                placement_args={"seed": 1},
+                labels_args={"seed": 8},
+                max_rounds=500_000,
+            ),
+            modes=("faults",),
+            description="Faster-Gathering in the n³ regime on ring(8)",
+        ),
+        FuzzTarget(
+            name="random-walk-ring12",
+            base=RunSpec(
+                algorithm="random_walk",
+                family="ring",
+                graph={"n": 12},
+                placement="dispersed",
+                k=3,
+                placement_args={"seed": 4},
+                labels_args={"seed": 4},
+                algorithm_args={"seed": 4},
+                uses_uxs=False,
+                stop_on_gather=True,
+                max_rounds=200_000,
+            ),
+            modes=("activation", "faults"),
+            description="Random-walk baseline (schedule-free, survives weak activation)",
+        ),
+        FuzzTarget(
+            name="tz-ring8",
+            base=RunSpec(
+                algorithm="tz",
+                family="ring",
+                graph={"n": 8},
+                placement="dispersed",
+                k=2,
+                placement_args={"seed": 3},
+                labels_args={"seed": 3},
+                stop_on_gather=True,
+                max_rounds=200_000,
+            ),
+            modes=("activation",),
+            description="TZ rendezvous pair (schedule-free, survives weak activation)",
+        ),
+    )
+}
+
+
+def target_names() -> List[str]:
+    return sorted(TARGETS)
+
+
+def get_target(name: str) -> FuzzTarget:
+    if name not in TARGETS:
+        raise ValueError(f"unknown fuzz target {name!r}; registered targets: {target_names()}")
+    return TARGETS[name]
+
+
+@dataclass(frozen=True)
+class ScheduleGenome:
+    """A declarative perturbation of one target — the unit the fuzzer
+    samples, mutates, shrinks, and serializes.
+
+    Plain JSON-serializable data throughout, so a genome round-trips
+    through the corpus format and its compiled spec is cache-stable.
+    """
+
+    target: str
+    faults: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    activation: str = "sync"
+    activation_args: Dict[str, Any] = field(default_factory=dict)
+    #: Optional re-rolls of the target's pinned placement/label seeds.
+    placement_seed: Optional[int] = None
+    labels_seed: Optional[int] = None
+
+    def compile(self) -> RunSpec:
+        """The concrete :class:`RunSpec` this genome describes."""
+        base = get_target(self.target).base
+        placement_args = dict(base.placement_args)
+        labels_args = dict(base.labels_args)
+        if self.placement_seed is not None:
+            placement_args["seed"] = self.placement_seed
+        if self.labels_seed is not None:
+            labels_args["seed"] = self.labels_seed
+        return replace(
+            base,
+            placement_args=placement_args,
+            labels_args=labels_args,
+            faults=dict(self.faults),
+            activation=self.activation,
+            activation_args=dict(self.activation_args),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "faults": {k: dict(v) for k, v in self.faults.items()},
+            "activation": self.activation,
+            "activation_args": dict(self.activation_args),
+            "placement_seed": self.placement_seed,
+            "labels_seed": self.labels_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScheduleGenome":
+        return cls(
+            target=data["target"],
+            faults={k: dict(v) for k, v in data.get("faults", {}).items()},
+            activation=data.get("activation", "sync"),
+            activation_args=dict(data.get("activation_args", {})),
+            placement_seed=data.get("placement_seed"),
+            labels_seed=data.get("labels_seed"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sampling and mutation
+# ---------------------------------------------------------------------------
+
+#: Activation samplers: ``name -> options drawn from the rng``.  Budgets
+#: start at 1 (0 is the disarmed no-op — a wasted iteration).
+_ACTIVATION_SAMPLERS = {
+    "adversarial": lambda rng: {"budget": rng.randint(1, 2)},
+    "round-robin": lambda rng: {"groups": rng.randint(2, 4)},
+    "random": lambda rng: {
+        "seed": rng.randrange(2**16),
+        "rate": rng.choice([0.25, 0.5, 0.75]),
+    },
+    "biased": lambda rng: {
+        "seed": rng.randrange(2**16),
+        "budget": 1,
+        "bias": rng.choice([2.0, 4.0, 8.0]),
+    },
+}
+
+
+def _sample_faults(rng: random.Random, k: int) -> Dict[str, Dict[str, int]]:
+    """A random crash/delay table over a ``k``-robot fleet.
+
+    Uniform delays get deliberate extra probability mass: shifting the
+    whole fleet is the one fault schedule *guaranteed* to raise rounds
+    without breaking detection (rounds = clean + delay + 1), so it anchors
+    the campaign with a reliable positive-regret family while the rest of
+    the mass explores asymmetric damage.
+    """
+    if rng.random() < 0.35:
+        delay = rng.randint(1, 20)
+        return {"delay": {str(i): delay for i in range(k)}}
+    plan: Dict[str, Dict[str, int]] = {"crash": {}, "delay": {}}
+    for i in range(k):
+        roll = rng.random()
+        if roll < 0.25:
+            plan["crash"][str(i)] = rng.randint(0, 20)
+        elif roll < 0.60:
+            plan["delay"][str(i)] = rng.randint(1, 20)
+    plan = {kind: table for kind, table in plan.items() if table}
+    if not plan:
+        # an empty plan is the clean twin — always perturb at least one robot
+        plan = {"delay": {str(rng.randrange(k)): rng.randint(1, 20)}}
+    return plan
+
+
+def sample_genome(
+    rng: random.Random, targets: Optional[List[str]] = None
+) -> ScheduleGenome:
+    """Draw a fresh random genome (the controller's exploration move)."""
+    names = sorted(targets) if targets else target_names()
+    target = get_target(rng.choice(names))
+    mode = rng.choice(target.modes)
+    placement_seed = rng.randrange(2**16) if rng.random() < 0.25 else None
+    labels_seed = rng.randrange(2**16) if rng.random() < 0.25 else None
+    if mode == "faults":
+        return ScheduleGenome(
+            target=target.name,
+            faults=_sample_faults(rng, target.base.k),
+            placement_seed=placement_seed,
+            labels_seed=labels_seed,
+        )
+    name = rng.choice(sorted(_ACTIVATION_SAMPLERS))
+    return ScheduleGenome(
+        target=target.name,
+        activation=name,
+        activation_args=_ACTIVATION_SAMPLERS[name](rng),
+        placement_seed=placement_seed,
+        labels_seed=labels_seed,
+    )
+
+
+def mutate_genome(genome: ScheduleGenome, rng: random.Random) -> ScheduleGenome:
+    """One random local edit (the controller's exploitation move).
+
+    Mutations stay inside the genome's mode family — a fault schedule
+    mutates its fault table, an activation schedule its model options —
+    plus occasional placement/label seed re-rolls for either family.
+    """
+    roll = rng.random()
+    if roll < 0.15:
+        return replace(genome, placement_seed=rng.randrange(2**16))
+    if roll < 0.25:
+        return replace(genome, labels_seed=rng.randrange(2**16))
+    if genome.faults:
+        faults = {kind: dict(table) for kind, table in genome.faults.items()}
+        kind = rng.choice(sorted(faults))
+        table = faults[kind]
+        index = rng.choice(sorted(table))
+        low = 1 if kind == "delay" else 0
+        if rng.random() < 0.5:
+            table[index] = max(low, table[index] + rng.choice([-5, -1, 1, 5]))
+        else:
+            k = get_target(genome.target).base.k
+            other = str(rng.randrange(k))
+            if other in table and len(table) > 1 and rng.random() < 0.5:
+                del table[other]
+            else:
+                table[other] = rng.randint(low, 20)
+        return replace(genome, faults={k_: t for k_, t in faults.items() if t})
+    if genome.activation != "sync":
+        # re-draw the options for the same model (seeded models explore
+        # their stream space; budgeted models jiggle the budget)
+        return replace(
+            genome,
+            activation_args=_ACTIVATION_SAMPLERS[genome.activation](rng),
+        )
+    return sample_genome(rng, [genome.target])

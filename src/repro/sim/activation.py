@@ -31,6 +31,7 @@ to :class:`repro.sim.reference.ReferenceScheduler`.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Dict, List, Optional
 
 __all__ = [
@@ -38,6 +39,8 @@ __all__ = [
     "SynchronousActivation",
     "RoundRobinActivation",
     "AdversarialActivation",
+    "RandomActivation",
+    "BiasedActivation",
     "ACTIVATION_MODELS",
     "build_activation",
     "activation_names",
@@ -116,13 +119,22 @@ class AdversarialActivation(ActivationModel):
     name = "adversarial"
 
     def __init__(self, budget: int = 1):
-        if budget < 1:
-            raise ValueError("adversarial activation needs budget >= 1")
+        if budget < 0:
+            raise ValueError(
+                "adversarial activation needs budget >= 0 "
+                "(0 disarms the adversary: everyone due acts)"
+            )
         self.budget = budget
         self._last_activated: Dict[int, int] = {}
 
     def select(self, due: List[Any], round_: int) -> List[Any]:
-        if len(due) <= self.budget:
+        if not due:
+            # Explicit no-op: nothing to starve, no bookkeeping to touch.
+            return due
+        if self.budget == 0 or len(due) <= self.budget:
+            # budget=0 is the disarmed adversary — synchronous behaviour,
+            # but the starvation ledger still advances so re-arming mid-run
+            # (a custom controller swapping budget) stays coherent.
             for r in due:
                 self._last_activated[r.label] = round_
             return due
@@ -138,6 +150,106 @@ class AdversarialActivation(ActivationModel):
         return f"starve-longest adversary, budget {self.budget}/round"
 
 
+class RandomActivation(ActivationModel):
+    """Seeded stochastic model: each due robot acts with probability ``rate``.
+
+    The schedule fuzzer's exploration workhorse.  A private
+    ``random.Random(seed)`` drives every coin flip, so the same
+    ``(seed, rate)`` always produces the same interleaving — runs are
+    reproducible and cacheable like any deterministic model.  When every
+    coin comes up tails the model activates one due robot anyway (chosen by
+    the same stream), honouring the non-empty contract.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, rate: float = 0.5):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("random activation needs 0 <= rate <= 1")
+        self.seed = seed
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def select(self, due: List[Any], round_: int) -> List[Any]:
+        if not due:
+            return due
+        rng = self._rng
+        rate = self.rate
+        chosen = [r for r in due if rng.random() < rate]
+        if not chosen:
+            chosen = [due[rng.randrange(len(due))]]
+        return chosen
+
+    def describe(self) -> str:
+        return f"seeded coin-flip activation, rate {self.rate}, seed {self.seed}"
+
+
+class BiasedActivation(ActivationModel):
+    """Seeded rich-get-richer adversary: ``budget`` robots act per round,
+    sampled with weight ``bias ** activations_so_far``.
+
+    The deterministic :class:`AdversarialActivation` is maximally *fair*
+    (starve-longest-first keeps every robot live); this model is its
+    stochastic opposite — robots that have already acted a lot are
+    exponentially *more* likely to act again, starving the laggards for
+    long stretches.  Every due robot keeps positive probability each round,
+    so runs stay live with probability 1; the fuzzer bounds them with
+    ``max_rounds`` regardless.  Fully deterministic given ``seed``.
+
+    ``budget=0`` disarms the bias (everyone due acts), mirroring the
+    adversarial model's convention.  Weight exponents are clamped so long
+    runs cannot overflow a float.
+    """
+
+    name = "biased"
+
+    def __init__(self, seed: int = 0, budget: int = 1, bias: float = 4.0):
+        if budget < 0:
+            raise ValueError("biased activation needs budget >= 0")
+        if bias <= 0:
+            raise ValueError("biased activation needs bias > 0")
+        self.seed = seed
+        self.budget = budget
+        self.bias = bias
+        self._rng = random.Random(seed)
+        self._counts: Dict[int, int] = {}
+
+    def select(self, due: List[Any], round_: int) -> List[Any]:
+        if not due:
+            return due
+        counts = self._counts
+        if self.budget == 0 or len(due) <= self.budget:
+            for r in due:
+                counts[r.label] = counts.get(r.label, 0) + 1
+            return due
+        floor = min(counts.get(r.label, 0) for r in due)
+        pool = list(due)
+        chosen: List[Any] = []
+        for _ in range(self.budget):
+            weights = [
+                self.bias ** min(counts.get(r.label, 0) - floor, 32) for r in pool
+            ]
+            x = self._rng.random() * sum(weights)
+            pick = len(pool) - 1
+            acc = 0.0
+            for i, w in enumerate(weights):
+                acc += w
+                if x < acc:
+                    pick = i
+                    break
+            chosen.append(pool.pop(pick))
+        for r in chosen:
+            counts[r.label] = counts.get(r.label, 0) + 1
+        chosen.sort(key=lambda r: r.label)
+        return chosen
+
+    def describe(self) -> str:
+        return (
+            f"rich-get-richer adversary, budget {self.budget}/round, "
+            f"bias {self.bias}, seed {self.seed}"
+        )
+
+
 def _checked(opts: Dict[str, Any], name: str, allowed: frozenset) -> Dict[str, Any]:
     """Reject unknown option keys: a typo'd option would otherwise run the
     wrong experiment and cache it under the typo'd key."""
@@ -145,7 +257,7 @@ def _checked(opts: Dict[str, Any], name: str, allowed: frozenset) -> Dict[str, A
     if unknown:
         raise ValueError(
             f"activation {name!r}: unknown options {sorted(unknown)}; "
-            f"allowed: {sorted(allowed) or 'none'}"
+            f"registered options: {sorted(allowed) or 'none'}"
         )
     return opts
 
@@ -165,12 +277,28 @@ def _build_adversarial(opts: Dict[str, Any]) -> AdversarialActivation:
     return AdversarialActivation(budget=opts.get("budget", 1))
 
 
+def _build_random(opts: Dict[str, Any]) -> RandomActivation:
+    _checked(opts, "random", frozenset({"seed", "rate"}))
+    return RandomActivation(seed=opts.get("seed", 0), rate=opts.get("rate", 0.5))
+
+
+def _build_biased(opts: Dict[str, Any]) -> BiasedActivation:
+    _checked(opts, "biased", frozenset({"seed", "budget", "bias"}))
+    return BiasedActivation(
+        seed=opts.get("seed", 0),
+        budget=opts.get("budget", 1),
+        bias=opts.get("bias", 4.0),
+    )
+
+
 #: ``model name -> builder(options dict)``.  ``"sync"`` builds ``None`` so
 #: the scheduler keeps its native (checked-by-differential-tests) hot path.
 ACTIVATION_MODELS: Dict[str, Callable[[Dict[str, Any]], Optional[ActivationModel]]] = {
     "sync": _build_sync,
     "round-robin": _build_round_robin,
     "adversarial": _build_adversarial,
+    "random": _build_random,
+    "biased": _build_biased,
 }
 
 
@@ -189,6 +317,6 @@ def build_activation(
     """
     if name not in ACTIVATION_MODELS:
         raise ValueError(
-            f"unknown activation model {name!r}; known: {activation_names()}"
+            f"unknown activation model {name!r}; registered models: {activation_names()}"
         )
     return ACTIVATION_MODELS[name](dict(options or {}))

@@ -1,0 +1,8 @@
+"""Shared test/fuzz generators.
+
+:mod:`repro.testing.strategies` holds the hypothesis strategies that the
+property suite and the schedule fuzzer's differential tests draw from —
+one set of generators, imported by both, instead of per-test-file copies
+that drift apart.  Importing it requires the ``dev`` extra (hypothesis);
+the production packages never import it.
+"""

@@ -12,6 +12,20 @@ from repro.graphs.port_graph import PortGraph
 from repro.sim.robot import RobotSpec
 from repro.sim.world import World, RunResult
 
+# Shared hypothesis strategies live in the importable package module
+# (repro.testing.strategies) so the fuzzer's tests and the property suite
+# draw from one vocabulary; re-exported here unchanged for test-local use.
+from repro.testing.strategies import (  # noqa: F401
+    activation_strategy,
+    fault_plan_strategy,
+    placements,
+    random_port_graph,
+    script_strategy,
+    scripted_factory,
+    scripts,
+    step_strategy,
+)
+
 #: Multiplier for hypothesis example counts.  1 for ordinary runs; the
 #: nightly workflow sets ``REPRO_HYPOTHESIS_SCALE`` (see docs/CI.md) to
 #: sweep the property suites much deeper without slowing PR feedback.

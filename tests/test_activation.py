@@ -15,6 +15,8 @@ from repro.graphs import generators as gg
 from repro.sim.activation import (
     ACTIVATION_MODELS,
     AdversarialActivation,
+    BiasedActivation,
+    RandomActivation,
     RoundRobinActivation,
     SynchronousActivation,
     activation_names,
@@ -128,7 +130,81 @@ class TestAdversarial:
 
     def test_rejects_bad_budget(self):
         with pytest.raises(ValueError):
-            AdversarialActivation(budget=0)
+            AdversarialActivation(budget=-1)
+
+    def test_budget_zero_is_noop(self):
+        # budget=0 disarms the adversary: bit-identical to synchronous
+        t_adv, t_sync = TraceRecorder(), TraceRecorder()
+        a = run_sched(AdversarialActivation(budget=0), trace=t_adv)
+        b = run_sched(None, trace=t_sync)
+        assert t_adv.events == t_sync.events
+        assert a.positions() == b.positions()
+
+    def test_empty_due_is_noop(self):
+        model = AdversarialActivation(budget=1)
+        assert model.select([], round_=0) == []
+        assert model._last_activated == {}
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = run_sched(RandomActivation(seed=7, rate=0.4), k=5, steps=6)
+        b = run_sched(RandomActivation(seed=7, rate=0.4), k=5, steps=6)
+        assert a.positions() == b.positions()
+        assert a.round == b.round
+        assert a.metrics.as_dict() == b.metrics.as_dict()
+
+    def test_seed_changes_interleaving(self):
+        rounds = {run_sched(RandomActivation(seed=s, rate=0.3), k=5, steps=8).round
+                  for s in range(6)}
+        assert len(rounds) > 1
+
+    def test_all_robots_eventually_finish(self):
+        sched = run_sched(RandomActivation(seed=3, rate=0.2), k=4, steps=4)
+        assert sched.all_terminated()
+        assert all(r.moves == 4 for r in sched.robots)
+
+    def test_never_selects_empty(self):
+        model = RandomActivation(seed=0, rate=0.0)
+        sched = run_sched(model, k=4, steps=3)
+        assert sched.all_terminated()
+        assert model.select([], round_=0) == []
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RandomActivation(rate=1.5)
+        with pytest.raises(ValueError):
+            RandomActivation(rate=-0.1)
+
+
+class TestBiased:
+    def test_deterministic_given_seed(self):
+        a = run_sched(BiasedActivation(seed=11, budget=1, bias=4.0), k=4, steps=5)
+        b = run_sched(BiasedActivation(seed=11, budget=1, bias=4.0), k=4, steps=5)
+        assert a.positions() == b.positions()
+        assert a.round == b.round
+
+    def test_starves_but_stays_live(self):
+        sched = run_sched(BiasedActivation(seed=2, budget=1, bias=8.0), k=4, steps=4)
+        assert sched.all_terminated()
+        assert all(r.moves == 4 for r in sched.robots)
+
+    def test_budget_zero_is_noop(self):
+        t_b, t_sync = TraceRecorder(), TraceRecorder()
+        a = run_sched(BiasedActivation(seed=0, budget=0), trace=t_b)
+        b = run_sched(None, trace=t_sync)
+        assert t_b.events == t_sync.events
+        assert a.positions() == b.positions()
+
+    def test_empty_due_is_noop(self):
+        model = BiasedActivation(seed=0, budget=1)
+        assert model.select([], round_=0) == []
+
+    def test_rejects_bad_options(self):
+        with pytest.raises(ValueError):
+            BiasedActivation(budget=-1)
+        with pytest.raises(ValueError):
+            BiasedActivation(bias=0.0)
 
 
 class TestContract:
@@ -141,10 +217,21 @@ class TestContract:
             run_sched(Staller())
 
     def test_registry_names(self):
-        assert {"sync", "round-robin", "adversarial"} <= set(activation_names())
+        expected = {"sync", "round-robin", "adversarial", "random", "biased"}
+        assert expected <= set(activation_names())
         for name in ACTIVATION_MODELS:
             model = build_activation(name)
             assert model is None or hasattr(model, "select")
+
+    def test_seeded_builders_pass_options(self):
+        model = build_activation("random", {"seed": 9, "rate": 0.25})
+        assert (model.seed, model.rate) == (9, 0.25)
+        model = build_activation("biased", {"seed": 9, "budget": 2, "bias": 2.0})
+        assert (model.seed, model.budget, model.bias) == (9, 2, 2.0)
+        with pytest.raises(ValueError, match="unknown options"):
+            build_activation("random", {"seeed": 1})
+        with pytest.raises(ValueError, match="unknown options"):
+            build_activation("biased", {"rate": 0.5})
 
     def test_unknown_model_rejected(self):
         with pytest.raises(ValueError, match="unknown activation"):

@@ -45,11 +45,10 @@ from repro.runtime import (
     group_into_batches,
     replicate_spec,
 )
-from repro.sim.actions import Action
 from repro.sim.batch import BACKENDS, HAVE_NUMPY, ReplicaBatch, resolve_backend
 from repro.sim.robot import RobotSpec
 from repro.sim.world import World
-from tests.conftest import scaled_examples
+from tests.conftest import scaled_examples, scripted_factory, scripts
 from tests.test_integration_matrix import FAMILY_INSTANCES
 
 #: Nightly knob: multiplies replica counts (full-size differential matrix).
@@ -341,40 +340,11 @@ class TestGrouping:
 
 # ---------------------------------------------------------------------------
 # Hypothesis: random scripted robots, batched vs scalar, per seed
+# (shared generators from repro.testing.strategies, via conftest; this
+# module keeps its historical shorter script shape)
 # ---------------------------------------------------------------------------
 
-step_strategy = st.one_of(
-    st.tuples(st.just("move"), st.integers(0, 7)),
-    st.tuples(st.just("stay")),
-    st.tuples(st.just("sleep"), st.integers(0, 9)),
-    st.tuples(st.just("sleep_meet"), st.integers(0, 9)),
-    st.tuples(st.just("card"), st.integers(0, 3)),
-)
-
-script_strategy = st.lists(step_strategy, min_size=1, max_size=8)
-
-
-def scripted_factory(script):
-    def factory(ctx):
-        def program():
-            obs = yield
-            for step in script:
-                kind = step[0]
-                if kind == "move":
-                    obs = yield Action.move(step[1] % obs.degree)
-                elif kind == "stay":
-                    obs = yield Action.stay()
-                elif kind == "sleep":
-                    obs = yield Action.sleep(obs.round + 1 + step[1])
-                elif kind == "sleep_meet":
-                    obs = yield Action.sleep(obs.round + 1 + step[1], wake_on_meet=True)
-                elif kind == "card":
-                    obs = yield Action.stay(card={"v": step[1]})
-            yield Action.terminate()
-
-        return program()
-
-    return factory
+script_strategy = scripts(max_size=8)
 
 
 @given(

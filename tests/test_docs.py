@@ -101,8 +101,8 @@ def documented_subcommands():
             if not argv:
                 continue
             seen.add((argv[0],))
-            # nested subcommands (scenarios list|describe|run)
-            if argv[0] == "scenarios" and len(argv) > 1:
+            # nested subcommands (scenarios list|describe|run, fuzz run|corpus|replay)
+            if argv[0] in ("scenarios", "fuzz") and len(argv) > 1:
                 seen.add((argv[0], argv[1]))
     return sorted(seen)
 

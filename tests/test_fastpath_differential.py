@@ -38,7 +38,12 @@ from repro.sim.reference import ReferenceScheduler
 from repro.sim.robot import RobotSpec
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import TraceRecorder
-from tests.conftest import scaled_examples
+from tests.conftest import (
+    fault_plan_strategy,
+    scaled_examples,
+    script_strategy,
+    scripted_factory,
+)
 from tests.test_integration_matrix import FAMILY_INSTANCES
 
 
@@ -405,40 +410,9 @@ def test_stop_on_gather_runs_match():
 
 # ---------------------------------------------------------------------------
 # Hypothesis: random scripted robots, both schedulers, exact trace equality
+# (``step_strategy``/``script_strategy``/``scripted_factory`` are the shared
+# generators from repro.testing.strategies, re-exported by conftest)
 # ---------------------------------------------------------------------------
-
-step_strategy = st.one_of(
-    st.tuples(st.just("move"), st.integers(0, 7)),
-    st.tuples(st.just("stay")),
-    st.tuples(st.just("sleep"), st.integers(0, 9)),
-    st.tuples(st.just("sleep_meet"), st.integers(0, 9)),
-    st.tuples(st.just("card"), st.integers(0, 3)),
-)
-
-script_strategy = st.lists(step_strategy, min_size=1, max_size=10)
-
-
-def scripted_factory(script):
-    def factory(ctx):
-        def program():
-            obs = yield
-            for step in script:
-                kind = step[0]
-                if kind == "move":
-                    obs = yield Action.move(step[1] % obs.degree)
-                elif kind == "stay":
-                    obs = yield Action.stay()
-                elif kind == "sleep":
-                    obs = yield Action.sleep(obs.round + 1 + step[1])
-                elif kind == "sleep_meet":
-                    obs = yield Action.sleep(obs.round + 1 + step[1], wake_on_meet=True)
-                elif kind == "card":
-                    obs = yield Action.stay(card={"v": step[1]})
-            yield Action.terminate()
-
-        return program()
-
-    return factory
 
 
 @given(
@@ -615,13 +589,6 @@ def test_scenario_registry_differential(scenario_name):
 # ---------------------------------------------------------------------------
 # Hypothesis: random fault plans over scripted robots, bit-identical
 # ---------------------------------------------------------------------------
-
-fault_plan_strategy = st.builds(
-    lambda crash, delay: {"crash": crash, "delay": delay},
-    st.dictionaries(st.integers(0, 3), st.integers(0, 12), max_size=3),
-    st.dictionaries(st.integers(0, 3), st.integers(0, 8), max_size=3),
-)
-
 
 @given(
     st.integers(0, 3),

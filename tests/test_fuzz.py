@@ -1,0 +1,439 @@
+"""The fuzzer's own contract: search space, shrinker, campaign, corpus, CLI.
+
+The cross-engine replay guarantees live in ``test_fuzz_differential.py``;
+this module pins the machinery underneath them — genome sampling and
+round-trips, shrink candidate ordering and fixpoints, campaign
+determinism and memoization, corpus tamper detection, scenario
+registration (including the ``scenarios describe`` SHA-256 identity), and
+the ``fuzz run|corpus|replay`` CLI exit codes.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.runtime import ResultCache
+from repro.scenarios.registry import get_scenario, scenario_names, unregister_scenario
+from repro.search import (
+    TARGETS,
+    CorpusEntry,
+    FuzzCampaign,
+    ScheduleGenome,
+    entry_from_result,
+    load_corpus,
+    load_entry,
+    mutate_genome,
+    register_corpus,
+    replayable_engines,
+    sample_genome,
+    save_entry,
+    scenario_for,
+    shrink_genome,
+    target_names,
+)
+from repro.search.shrink import shrink_candidates
+from repro.search.space import get_target
+from repro.sim.engines import list_engines
+
+
+def delay_genome(delay=3):
+    """Uniform fleet delay on the waiter/pair target: the guaranteed
+    positive-regret schedule (shifts the whole schedule by ``delay``)."""
+    return ScheduleGenome(
+        target="undispersed-ring8",
+        faults={"delay": {"0": delay, "1": delay, "2": delay}},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Search space
+# ---------------------------------------------------------------------------
+
+
+class TestSpace:
+    def test_registered_targets(self):
+        assert target_names() == sorted(TARGETS)
+        assert set(target_names()) == {
+            "undispersed-ring8",
+            "faster-ring8",
+            "random-walk-ring12",
+            "tz-ring8",
+        }
+
+    def test_unknown_target_raises_with_listing(self):
+        with pytest.raises(ValueError, match="unknown fuzz target"):
+            get_target("nope")
+        with pytest.raises(ValueError, match="registered targets"):
+            ScheduleGenome(target="nope").compile()
+
+    def test_genome_dict_roundtrip(self):
+        genome = ScheduleGenome(
+            target="undispersed-ring8",
+            faults={"crash": {"1": 4}, "delay": {"0": 2}},
+            activation="sync",
+            placement_seed=7,
+        )
+        assert ScheduleGenome.from_dict(genome.to_dict()) == genome
+
+    def test_compile_overlays_base_without_mutating_it(self):
+        base = TARGETS["undispersed-ring8"].base
+        before = dict(base.placement_args)
+        spec = replace(delay_genome(2), placement_seed=99).compile()
+        assert spec.placement_args["seed"] == 99
+        assert spec.faults == {"delay": {"0": 2, "1": 2, "2": 2}}
+        assert base.placement_args == before
+
+    def test_seed_rerolls_default_to_target_pins(self):
+        spec = delay_genome(1).compile()
+        base = TARGETS["undispersed-ring8"].base
+        assert spec.placement_args == base.placement_args
+        assert spec.labels_args == base.labels_args
+
+    def test_sampling_is_deterministic(self):
+        rng1, rng2 = random.Random(9), random.Random(9)
+        assert [sample_genome(rng1) for _ in range(20)] == [
+            sample_genome(rng2) for _ in range(20)
+        ]
+
+    def test_sampling_respects_target_filter_and_modes(self):
+        rng = random.Random(0)
+        for _ in range(30):
+            genome = sample_genome(rng, ["tz-ring8"])
+            assert genome.target == "tz-ring8"
+            # tz-ring8 is activation-only: never a fault table
+            assert not genome.faults
+            assert genome.activation != "sync"
+
+    def test_samples_compile_and_key(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            spec = sample_genome(rng).compile()
+            assert len(ResultCache.key_for(spec)) == 64
+
+    def test_mutation_stays_in_mode_family(self):
+        rng = random.Random(3)
+        fault = delay_genome(5)
+        for _ in range(40):
+            mutant = mutate_genome(fault, rng)
+            assert mutant.activation == "sync"
+        activation = ScheduleGenome(
+            target="tz-ring8", activation="adversarial", activation_args={"budget": 1}
+        )
+        for _ in range(40):
+            mutant = mutate_genome(activation, rng)
+            assert not mutant.faults
+
+
+# ---------------------------------------------------------------------------
+# Shrinker
+# ---------------------------------------------------------------------------
+
+
+class TestShrink:
+    def test_candidates_drop_seeds_first_then_entries_then_values(self):
+        genome = replace(delay_genome(8), placement_seed=11)
+        kinds = list(shrink_candidates(genome))
+        first = kinds[0]
+        assert first.placement_seed is None and first.faults == genome.faults
+        # entry drops come before value shrinks
+        drop_index = next(
+            i for i, c in enumerate(kinds) if len(c.faults.get("delay", {})) == 2
+        )
+        value_index = next(
+            i
+            for i, c in enumerate(kinds)
+            if c.faults.get("delay", {}).get("0") == 1
+            and len(c.faults.get("delay", {})) == 3
+        )
+        assert drop_index < value_index
+
+    def test_candidates_are_strictly_different(self):
+        genome = replace(delay_genome(6), labels_seed=2)
+        for candidate in shrink_candidates(genome):
+            assert candidate != genome
+
+    def test_shrink_reaches_fixpoint_minimum(self):
+        genome = replace(delay_genome(8), placement_seed=5, labels_seed=5)
+
+        def predicate(candidate):
+            # pure-python property: robot 0 still delayed
+            return candidate if candidate.faults.get("delay", {}).get("0") else None
+
+        best = shrink_genome(genome, predicate)
+        assert best.faults == {"delay": {"0": 1}}
+        assert best.placement_seed is None and best.labels_seed is None
+
+    def test_shrink_returns_none_when_already_minimal(self):
+        genome = ScheduleGenome(target="undispersed-ring8", faults={"delay": {"0": 1}})
+
+        def predicate(candidate):
+            return candidate if candidate.faults.get("delay", {}).get("0") else None
+
+        assert shrink_genome(genome, predicate) is None
+
+    def test_max_evals_bounds_predicate_calls(self):
+        genome = replace(delay_genome(20), placement_seed=5)
+        calls = []
+
+        def predicate(candidate):
+            calls.append(candidate)
+            return None
+
+        assert shrink_genome(genome, predicate, max_evals=3) is None
+        assert len(calls) == 3
+
+
+# ---------------------------------------------------------------------------
+# Campaign
+# ---------------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError, match="budget >= 1"):
+            FuzzCampaign(budget=0)
+        with pytest.raises(ValueError, match="explore"):
+            FuzzCampaign(explore=1.5)
+        with pytest.raises(ValueError, match="unknown fuzz targets"):
+            FuzzCampaign(targets=["nope"])
+
+    def test_uniform_delay_scores_guaranteed_regret(self):
+        campaign = FuzzCampaign(seed=0, budget=1)
+        result = campaign.evaluate(delay_genome(3))
+        assert result.ok
+        assert result.regret == 3  # the whole fleet shifts by the delay
+        assert result.record["rounds"] == result.rounds
+
+    def test_asymmetric_delay_aborts_oblivious_schedule(self):
+        """The documented negative space: a desynced oblivious schedule
+        detects the inconsistency and raises — an isolated abort, not a
+        find and not a crash."""
+        campaign = FuzzCampaign(seed=0, budget=1)
+        result = campaign.evaluate(
+            ScheduleGenome(target="undispersed-ring8", faults={"delay": {"2": 7}})
+        )
+        assert not result.ok
+        assert result.error_type == "ValueError"
+        assert "conflicting edge" in result.error
+        assert result.regret is None
+
+    def test_evaluation_is_memoized(self):
+        campaign = FuzzCampaign(seed=0, budget=1)
+        campaign.evaluate(delay_genome(2))
+        executed = campaign.stats.executed
+        campaign.evaluate(delay_genome(2))
+        assert campaign.stats.executed == executed
+
+    def test_minimize_strips_freight_and_preserves_regret(self):
+        # redundant seed re-rolls (the target's own pins, restated) must
+        # go, and the three-robot uniform delay shrinks to the single
+        # robot whose delay alone reproduces the same regret
+        campaign = FuzzCampaign(seed=0, budget=1)
+        noisy = replace(delay_genome(3), placement_seed=8, labels_seed=8)
+        result = campaign.evaluate(noisy)
+        small = campaign.minimize(result)
+        assert small.genome.placement_seed is None
+        assert small.genome.labels_seed is None
+        assert small.genome.faults == {"delay": {"1": 3}}
+        assert small.regret == result.regret
+
+    def test_report_partitions_results(self):
+        report = FuzzCampaign(seed=0, budget=10).run()
+        assert len(report.results) == 10
+        assert {id(r) for r in report.positives}.isdisjoint(
+            {id(r) for r in report.aborted}
+        )
+        for r in report.positives:
+            assert r.regret >= 1
+        for target, best in report.best().items():
+            assert best.genome.target == target
+
+
+# ---------------------------------------------------------------------------
+# Corpus round-trip, tamper detection, scenario registration
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def entry():
+    campaign = FuzzCampaign(seed=0, budget=1)
+    result = campaign.evaluate(delay_genome(3))
+    return entry_from_result(result, found={"seed": 0, "budget": 1, "iteration": -1})
+
+
+class TestCorpus:
+    def test_entry_requires_successful_result(self):
+        campaign = FuzzCampaign(seed=0, budget=1)
+        aborted = campaign.evaluate(
+            ScheduleGenome(target="undispersed-ring8", faults={"delay": {"2": 7}})
+        )
+        with pytest.raises(ValueError, match="successful"):
+            entry_from_result(aborted)
+
+    def test_disk_roundtrip(self, entry, tmp_path):
+        path = save_entry(entry, tmp_path)
+        assert path.name == f"{entry.name}.json"
+        assert load_entry(path) == entry
+        assert load_corpus(tmp_path) == [entry]
+
+    def test_corpus_loads_sorted_by_name(self, entry, tmp_path):
+        other = replace(entry, name="aaa-first")
+        save_entry(entry, tmp_path)
+        save_entry(other, tmp_path)
+        assert [e.name for e in load_corpus(tmp_path)] == sorted(
+            [entry.name, other.name]
+        )
+
+    def test_tampered_spec_is_rejected(self, entry):
+        payload = entry.to_payload()
+        payload["spec"]["seed"] = 1234
+        with pytest.raises(ValueError, match="does not match the recomputed"):
+            CorpusEntry.from_payload(payload)
+
+    def test_schema_mismatches_fail_loudly(self, entry):
+        stale = entry.to_payload()
+        stale["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            CorpusEntry.from_payload(stale)
+        old_spec = entry.to_payload()
+        old_spec["spec_schema"] = 0
+        with pytest.raises(ValueError, match="spec schema"):
+            CorpusEntry.from_payload(old_spec)
+
+    def test_replayable_engines_scoping(self, entry):
+        assert replayable_engines(entry.spec) == list_engines()
+        activated = replace(entry.spec, activation="adversarial", activation_args={"budget": 1})
+        assert replayable_engines(activated) == [
+            n for n in list_engines() if n != "reference"
+        ]
+
+    def test_register_and_unregister_scenario(self, entry):
+        scenario = scenario_for(entry)
+        assert scenario.specs == (entry.spec,)
+        assert "fuzz" in scenario.tags
+        registered = register_corpus([entry])
+        try:
+            assert [sc.name for sc in registered] == [entry.name]
+            assert entry.name in scenario_names()
+            assert get_scenario(entry.name).specs == (entry.spec,)
+        finally:
+            unregister_scenario(entry.name)
+        assert entry.name not in scenario_names()
+
+    def test_describe_prints_the_stable_cache_identity(self, entry, capsys):
+        """Registered fuzz entries expose the same SHA-256 the cache files
+        are named by — stable across consecutive invocations."""
+        register_corpus([entry])
+        try:
+            assert main(["scenarios", "describe", entry.name]) == 0
+            first = capsys.readouterr().out
+            assert entry.key in first
+            assert main(["scenarios", "describe", entry.name]) == 0
+            assert capsys.readouterr().out == first
+        finally:
+            unregister_scenario(entry.name)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def cli_corpus(tmp_path_factory):
+    """One `fuzz run` invocation shared by the CLI tests."""
+    root = tmp_path_factory.mktemp("fuzz-cli")
+    corpus = root / "corpus"
+    cache = root / "cache"
+    code = main(
+        [
+            "fuzz",
+            "run",
+            "--seed",
+            "0",
+            "--budget",
+            "12",
+            "--corpus-dir",
+            str(corpus),
+            "--cache-dir",
+            str(cache),
+        ]
+    )
+    assert code == 0
+    return corpus, cache
+
+
+class TestCli:
+    def test_run_writes_minimized_corpus(self, cli_corpus, capsys):
+        corpus, _ = cli_corpus
+        entries = load_corpus(corpus)
+        assert entries, "seeded smoke run must write at least one entry"
+        for e in entries:
+            assert e.regret >= 1
+            assert e.found["seed"] == 0 and e.found["budget"] == 12
+
+    def test_corpus_lists_entries(self, cli_corpus, capsys):
+        corpus, _ = cli_corpus
+        assert main(["fuzz", "corpus", "--corpus-dir", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        for e in load_corpus(corpus):
+            assert e.name in out
+
+    def test_corpus_register_flag_registers_and_prints(self, cli_corpus, capsys):
+        corpus, _ = cli_corpus
+        names = [e.name for e in load_corpus(corpus)]
+        try:
+            assert main(["fuzz", "corpus", "--corpus-dir", str(corpus), "--register"]) == 0
+            out = capsys.readouterr().out
+            for name in names:
+                assert name in out
+                assert name in scenario_names()
+        finally:
+            for name in names:
+                if name in scenario_names():
+                    unregister_scenario(name)
+
+    def test_replay_is_bit_identical_and_cache_hits_second_time(
+        self, cli_corpus, capsys
+    ):
+        corpus, cache = cli_corpus
+        argv = [
+            "fuzz",
+            "replay",
+            "--corpus-dir",
+            str(corpus),
+            "--cache-dir",
+            str(cache),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "all replays bit-identical" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "all replays bit-identical" in second
+        assert "0 executed" in second
+
+    def test_replay_single_engine_flag(self, cli_corpus, capsys):
+        corpus, _ = cli_corpus
+        assert (
+            main(["fuzz", "replay", "--corpus-dir", str(corpus), "--engine", "reference"])
+            == 0
+        )
+        assert "all replays bit-identical" in capsys.readouterr().out
+
+    def test_corpus_and_replay_exit_1_on_empty_dir(self, tmp_path, capsys):
+        assert main(["fuzz", "corpus", "--corpus-dir", str(tmp_path)]) == 1
+        assert main(["fuzz", "replay", "--corpus-dir", str(tmp_path)]) == 1
+
+    def test_replay_exits_1_on_divergence(self, cli_corpus, tmp_path, capsys):
+        corpus, _ = cli_corpus
+        entry = load_corpus(corpus)[0]
+        # forge a record that claims different rounds: the key still
+        # matches (spec untouched), so only replay comparison can catch it
+        forged = replace(entry, rounds=entry.rounds + 1)
+        forged.record = dict(entry.record, rounds=entry.rounds + 1)
+        save_entry(forged, tmp_path)
+        assert main(["fuzz", "replay", "--corpus-dir", str(tmp_path)]) == 1
+        assert "diverged" in capsys.readouterr().out

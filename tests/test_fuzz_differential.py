@@ -1,0 +1,218 @@
+"""Cross-engine fuzz corpus replay: found worst cases are engine-portable.
+
+A seeded campaign (fixed seed, fixed budget — the same invocation CI's
+fuzz-smoke step runs) produces minimized corpus entries; every entry is
+then replayed under every registered backend in
+:func:`repro.sim.engines.list_engines` and asserted **bit-identical**:
+
+* at the runtime layer — the full :class:`~repro.analysis.experiments.
+  GatheringRun` record (rounds, detection, metrics, fault extras) equals
+  the stored one under each engine;
+* at the world layer — positions, per-robot stats, and per-robot metrics
+  agree across every engine that runs the spec natively.
+
+Engine scope follows declared capabilities: fault-plan entries are plain
+program wrappers and replay under all backends including the seed
+``reference`` scheduler; activation-carrying entries replay under every
+backend that supports (or scalar-falls-back around) non-synchronous
+activation — :func:`repro.search.replayable_engines` is the single
+source of that scoping, and this suite pins it.
+
+Parametrized ids use underscores (``batch_list``), matching
+``test_engine_conformance`` conventions so ``-k`` selects one backend.
+"""
+
+import pytest
+
+from repro.runtime import ResultCache, materialize
+from repro.runtime.api import ExecutionStats
+from repro.search import (
+    FuzzCampaign,
+    entry_from_result,
+    replay_entry,
+    replayable_engines,
+)
+from repro.sim.activation import build_activation
+from repro.sim.engines import get_engine, list_engines
+from repro.sim.robot import RobotSpec
+from repro.sim.world import World
+
+ENGINES = list_engines()
+ENGINE_IDS = [name.replace("-", "_") for name in ENGINES]
+
+#: The CI fuzz-smoke invocation: small, fast, and known (for this seed) to
+#: find both a fault-plan winner and activation winners.
+CAMPAIGN_SEED = 0
+CAMPAIGN_BUDGET = 20
+
+
+@pytest.fixture(scope="module")
+def campaign_corpus(tmp_path_factory):
+    """Minimized corpus entries from one seeded campaign (shared cache)."""
+    cache = ResultCache(tmp_path_factory.mktemp("fuzz-cache"))
+    campaign = FuzzCampaign(seed=CAMPAIGN_SEED, budget=CAMPAIGN_BUDGET, cache=cache)
+    report = campaign.run()
+    assert report.minimized, "the seeded campaign must find at least one worst case"
+    entries = [
+        entry_from_result(
+            r,
+            found={
+                "seed": CAMPAIGN_SEED,
+                "budget": CAMPAIGN_BUDGET,
+                "iteration": r.iteration,
+            },
+        )
+        for r in report.minimized
+    ]
+    return cache, entries
+
+
+def test_campaign_finds_regret_above_clean_baseline(campaign_corpus):
+    """The acceptance bar: a schedule strictly above the clean-sync twin."""
+    _, entries = campaign_corpus
+    assert any(e.regret >= 1 for e in entries)
+    for e in entries:
+        assert e.rounds > e.baseline_rounds
+
+
+def test_fault_entries_replay_under_every_engine(campaign_corpus):
+    """Fault plans are program wrappers — invisible to all five backends."""
+    _, entries = campaign_corpus
+    fault_only = [
+        e
+        for e in entries
+        if e.spec.activation == "sync" and not e.spec.activation_args
+    ]
+    assert fault_only, "campaign should minimize at least one fault-plan schedule"
+    for e in fault_only:
+        assert replayable_engines(e.spec) == ENGINES
+
+
+def test_activation_entries_scope_out_reference_only(campaign_corpus):
+    _, entries = campaign_corpus
+    for e in entries:
+        if e.spec.activation != "sync" or e.spec.activation_args:
+            supported = replayable_engines(e.spec)
+            assert "reference" not in supported
+            assert supported == [n for n in ENGINES if n != "reference"]
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+def test_corpus_replays_bit_identical(campaign_corpus, engine):
+    """Every entry, re-executed live (no cache), equals the stored record."""
+    _, entries = campaign_corpus
+    replayed = 0
+    for entry in entries:
+        if engine not in replayable_engines(entry.spec):
+            continue
+        out = replay_entry(entry, engine=engine)
+        assert out.ok, (entry.name, engine, out.error)
+        assert out.record.rounds == entry.rounds, (entry.name, engine)
+        assert out.matches, (entry.name, engine)
+        replayed += 1
+    assert replayed, f"no corpus entry is replayable under {engine}"
+
+
+# ---------------------------------------------------------------------------
+# World-level conformance: positions, per-robot stats, per-robot metrics
+# ---------------------------------------------------------------------------
+
+
+def _world_digest(spec, engine):
+    """Run ``spec`` under ``engine`` at the world layer; everything the
+    result exposes, including per-robot stats and per-robot metrics."""
+    graph, starts, labels, factory_for = materialize(spec)
+    plan = spec.fault_plan()
+    factory = factory_for()
+    fleet = [
+        RobotSpec(
+            label=label,
+            start=start,
+            factory=plan.wrap(i, factory) if plan else factory,
+            knowledge=dict(spec.knowledge),
+        )
+        for i, (label, start) in enumerate(zip(labels, starts))
+    ]
+    model = build_activation(spec.activation, spec.activation_args)
+    kwargs = {"stop_on_gather": spec.stop_on_gather, "engine": engine}
+    if spec.max_rounds is not None:
+        kwargs["max_rounds"] = spec.max_rounds
+    if model is not None:
+        kwargs["activation"] = model
+    result = World(graph, fleet, strict=spec.strict).run(**kwargs)
+    metrics = result.metrics
+    return {
+        "rounds": result.rounds,
+        "gathered": result.gathered,
+        "detected": result.detected,
+        "final_node": result.final_node,
+        "positions": dict(result.positions),
+        "stats": result.stats,
+        "metrics": {
+            **metrics.as_dict(),
+            "moves_by_robot": metrics.moves_by_robot,
+            "active_rounds_by_robot": metrics.active_rounds_by_robot,
+        },
+    }
+
+
+def _native_engines(spec):
+    """Engines that run ``spec`` directly at the world layer (no scalar
+    fallback exists down here, so activation needs the declared capability)."""
+    needs_activation = spec.activation != "sync" or bool(spec.activation_args)
+    return [
+        name
+        for name in ENGINES
+        if not needs_activation or get_engine(name).capabilities.supports_activation
+    ]
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+def test_world_level_per_robot_state_identical(campaign_corpus, engine):
+    """Positions, per-robot stats, and per-robot move counts agree with the
+    first supporting engine's run — not just the flat record."""
+    _, entries = campaign_corpus
+    compared = 0
+    for entry in entries:
+        native = _native_engines(entry.spec)
+        if engine not in native:
+            continue
+        oracle = _world_digest(entry.spec, native[0])
+        assert oracle["rounds"] == entry.rounds, entry.name
+        got = _world_digest(entry.spec, engine)
+        assert got == oracle, (entry.name, engine)
+        compared += 1
+    assert compared, f"no corpus entry runs natively under {engine}"
+
+
+# ---------------------------------------------------------------------------
+# Cache identity: replaying into the campaign's cache is a pure hit
+# ---------------------------------------------------------------------------
+
+
+def test_second_replay_is_fully_cache_hit(campaign_corpus):
+    """Replay through the campaign's own cache: every spec (and its clean
+    twin) is already present, so nothing executes — the acceptance
+    criterion's second consecutive invocation."""
+    cache, entries = campaign_corpus
+    stats = ExecutionStats()
+    for entry in entries:
+        for engine in replayable_engines(entry.spec):
+            out = replay_entry(entry, engine=engine, cache=cache, stats=stats)
+            assert out.matches, (entry.name, engine)
+    assert stats.executed == 0
+    assert stats.cache_hits > 0
+
+
+def test_campaign_is_deterministic_across_instances(tmp_path):
+    """Same seed + budget = same results, same minimized keys — with or
+    without a disk cache (the controller never reads cache state)."""
+    fresh = FuzzCampaign(seed=CAMPAIGN_SEED, budget=CAMPAIGN_BUDGET).run()
+    cached = FuzzCampaign(
+        seed=CAMPAIGN_SEED,
+        budget=CAMPAIGN_BUDGET,
+        cache=ResultCache(tmp_path / "cache"),
+    ).run()
+    assert [r.key for r in fresh.results] == [r.key for r in cached.results]
+    assert [r.rounds for r in fresh.results] == [r.rounds for r in cached.results]
+    assert [r.key for r in fresh.minimized] == [r.key for r in cached.minimized]

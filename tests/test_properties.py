@@ -22,27 +22,8 @@ from repro.graphs import generators as gg
 from repro.graphs.traversal import euler_tour_ports, walk
 from repro.uxs.generators import splitmix_offsets
 from repro.uxs.sequence import exploration_walk
-from tests.conftest import run_world
-
-
-# ---------------------------------------------------------------------------
-# Graph strategies
-# ---------------------------------------------------------------------------
-@st.composite
-def random_port_graph(draw, min_n=4, max_n=12):
-    n = draw(st.integers(min_n, max_n))
-    seed = draw(st.integers(0, 2**16))
-    numbering = draw(st.sampled_from(["canonical", "random", "reversed", "rotated"]))
-    family = draw(st.sampled_from(["ring", "path", "erdos_renyi", "random_tree", "star"]))
-    if family == "ring":
-        return gg.ring(max(n, 3), numbering=numbering, seed=seed)
-    if family == "path":
-        return gg.path(n, numbering=numbering, seed=seed)
-    if family == "random_tree":
-        return gg.random_tree(n, seed=seed, numbering=numbering)
-    if family == "star":
-        return gg.star(n, numbering=numbering, seed=seed)
-    return gg.erdos_renyi(n, seed=seed, numbering=numbering)
+# ``random_port_graph`` is the shared strategy from repro.testing.strategies
+from tests.conftest import random_port_graph, run_world
 
 
 @given(random_port_graph())
