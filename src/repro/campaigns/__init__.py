@@ -1,0 +1,67 @@
+"""repro.campaigns — crash-safe sharded campaigns over the result cache.
+
+The scale-out layer above :mod:`repro.runtime`: a **campaign** freezes a
+grid of specs into a content-addressed manifest
+(:mod:`~repro.campaigns.manifest`), and any number of worker processes —
+on any number of hosts sharing the cache directory — consume it by
+work-stealing (:mod:`~repro.campaigns.worker`), coordinating *only*
+through filesystem leases (:mod:`~repro.campaigns.leases`).
+
+The design collapses to one invariant: **a cell is done iff its spec's
+SHA-256 key resolves in the cache.**  Nothing records progress, so nothing
+can record it wrong — interrupt anything at any instruction and "resume"
+is simply running workers again, which re-executes exactly the missing
+cells and replays everything else as cache hits.  Results are
+bit-identical to a clean ``SerialExecutor`` run because every cell is a
+pure function of its spec; the chaos harness
+(:mod:`repro.testing.chaos`) SIGKILLs workers, tears files, and orphans
+leases to prove it.
+
+CLI: ``python -m repro campaign create|run|workers|status|resume``; the
+full tour lives in ``docs/CAMPAIGNS.md``.
+"""
+
+from repro.campaigns.leases import DEFAULT_LEASE_TIMEOUT, Lease, LeaseManager, default_owner
+from repro.campaigns.manifest import (
+    CAMPAIGN_SCHEMA,
+    CampaignCell,
+    CampaignManifest,
+    CampaignStatus,
+    campaign_status,
+    campaigns_dir,
+    list_manifests,
+    load_manifest,
+    manifest_path,
+    resolve_campaign_id,
+    save_manifest,
+)
+from repro.campaigns.worker import (
+    DEFAULT_IDLE_TIMEOUT,
+    resume_campaign,
+    run_campaign,
+    run_worker,
+    status_of,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignCell",
+    "CampaignManifest",
+    "CampaignStatus",
+    "campaign_status",
+    "campaigns_dir",
+    "list_manifests",
+    "load_manifest",
+    "manifest_path",
+    "resolve_campaign_id",
+    "save_manifest",
+    "Lease",
+    "LeaseManager",
+    "default_owner",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_IDLE_TIMEOUT",
+    "run_worker",
+    "run_campaign",
+    "resume_campaign",
+    "status_of",
+]

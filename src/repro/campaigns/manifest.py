@@ -1,0 +1,280 @@
+"""Campaign manifests: a durable, content-addressed description of a grid.
+
+A **campaign** is a frozen set of :class:`repro.runtime.RunSpec` cells —
+typically a crash×delay×placement grid or a replica sweep — that outlives
+any single process.  The manifest records, once, everything a worker needs
+to join the campaign: each cell's spec (in canonical-JSON form) together
+with its SHA-256 cache key, plus free-form grid metadata.  Like every
+other durable artifact in this codebase it is content-addressed: the
+campaign id is the SHA-256 of the sorted cell-key list, so the same grid
+always has the same id, re-creating a campaign is idempotent, and a
+manifest can never silently drift from the work it names.
+
+**Completion is derived, not recorded.**  There is no bitmap, journal, or
+"done" flag anywhere: a cell is complete iff its cache key resolves in the
+shared :class:`repro.runtime.ResultCache`.  Interrupting a campaign
+therefore costs nothing — resume is just "run the workers again", and a
+fully completed campaign resumes with zero executions.  Coordination
+between workers happens through lease files (:mod:`repro.campaigns.
+leases`); the manifest itself is immutable.
+
+Layout, inside the cache directory::
+
+    <cache root>/campaigns/<campaign id>.json     the manifest (this module)
+    <cache root>/leases/<campaign id>/...         claim files (leases.py)
+    <cache root>/chaos/...                        chaos kill-slot markers
+
+Everything lives under the cache root on purpose: pointing a second host
+at the same directory (NFS, rsync, a shared volume) is all it takes to
+join its workers to the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import SPEC_SCHEMA, RunSpec
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignCell",
+    "CampaignManifest",
+    "CampaignStatus",
+    "campaigns_dir",
+    "manifest_path",
+    "save_manifest",
+    "load_manifest",
+    "list_manifests",
+    "resolve_campaign_id",
+    "campaign_status",
+]
+
+#: Bumped whenever the manifest file format changes; stamped into every
+#: manifest and checked on load, so a worker never consumes a grid written
+#: under different semantics.
+CAMPAIGN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One unit of campaign work: a spec and its content-addressed key."""
+
+    key: str
+    spec: RunSpec
+
+
+def _spec_from_payload(payload: Dict[str, Any]) -> RunSpec:
+    """Rebuild a spec from its stored canonical form, schema-checked."""
+    if payload.get("schema") != SPEC_SCHEMA:
+        raise ValueError(
+            f"manifest spec schema {payload.get('schema')!r} != current {SPEC_SCHEMA}"
+        )
+    return RunSpec(**payload["spec"])
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """The frozen cell list plus grid metadata; id derived from content."""
+
+    campaign_id: str
+    cells: Tuple[CampaignCell, ...]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def id_for(keys: Iterable[str]) -> str:
+        """The campaign id: SHA-256 over the sorted, deduped cell keys.
+
+        Deliberately independent of metadata and cell *order*: the id names
+        the work, and the same grid re-described is the same campaign.
+        """
+        return sha256("\n".join(sorted(set(keys))).encode()).hexdigest()
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[RunSpec], meta: Optional[Dict[str, Any]] = None
+    ) -> "CampaignManifest":
+        """Freeze a spec batch into a manifest (duplicates collapse —
+        identical specs are the same cell by construction)."""
+        if not specs:
+            raise ValueError("a campaign needs at least one spec")
+        cells: List[CampaignCell] = []
+        seen = set()
+        for spec in specs:
+            key = ResultCache.key_for(spec)
+            if key in seen:
+                continue
+            seen.add(key)
+            cells.append(CampaignCell(key=key, spec=spec))
+        return cls(
+            campaign_id=cls.id_for(seen),
+            cells=tuple(cells),
+            meta=dict(meta or {}),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "campaign": self.campaign_id,
+            "meta": self.meta,
+            "cells": [
+                {"key": cell.key, "spec": json.loads(cell.spec.canonical_json())}
+                for cell in self.cells
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CampaignManifest":
+        """Parse and *verify* a stored manifest.
+
+        Tamper-evident like the fuzz corpus: every cell's spec is rebuilt
+        and re-hashed, and the campaign id is recomputed — an edited spec,
+        a swapped key, or a renamed file all fail loudly rather than
+        executing the wrong grid under the right name.
+        """
+        if payload.get("schema") != CAMPAIGN_SCHEMA:
+            raise ValueError(
+                f"campaign schema {payload.get('schema')!r} != current {CAMPAIGN_SCHEMA}"
+            )
+        cells = []
+        for entry in payload["cells"]:
+            spec = _spec_from_payload(entry["spec"])
+            key = ResultCache.key_for(spec)
+            if key != entry["key"]:
+                raise ValueError(
+                    f"manifest cell key mismatch for {entry['key'][:12]}…: "
+                    "stored spec re-hashes differently (edited or corrupt manifest)"
+                )
+            cells.append(CampaignCell(key=key, spec=spec))
+        campaign_id = cls.id_for(c.key for c in cells)
+        if payload.get("campaign") != campaign_id:
+            raise ValueError(
+                f"campaign id mismatch: stored {str(payload.get('campaign'))[:12]}…, "
+                f"recomputed {campaign_id[:12]}…"
+            )
+        return cls(
+            campaign_id=campaign_id,
+            cells=tuple(cells),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def keys(self) -> List[str]:
+        return [cell.key for cell in self.cells]
+
+    def specs(self) -> List[RunSpec]:
+        return [cell.spec for cell in self.cells]
+
+
+# ---------------------------------------------------------------------------
+# Persistence (inside the cache root, atomic writes, written once)
+# ---------------------------------------------------------------------------
+
+
+def campaigns_dir(cache_root: Union[str, Path]) -> Path:
+    return Path(cache_root) / "campaigns"
+
+
+def manifest_path(cache_root: Union[str, Path], campaign_id: str) -> Path:
+    return campaigns_dir(cache_root) / f"{campaign_id}.json"
+
+
+def save_manifest(manifest: CampaignManifest, cache_root: Union[str, Path]) -> Path:
+    """Persist the manifest (atomic write-once); returns its path.
+
+    Content-addressing makes this idempotent: if the file already exists it
+    is the same grid by construction (the id is the hash of the keys), so
+    the existing file is kept untouched — "written once" holds even when N
+    processes race to create the same campaign.
+    """
+    path = manifest_path(cache_root, manifest.campaign_id)
+    if path.exists():
+        return path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(manifest.to_payload(), sort_keys=True, indent=1))
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(cache_root: Union[str, Path], campaign_id: str) -> CampaignManifest:
+    path = manifest_path(cache_root, campaign_id)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(f"no campaign manifest {campaign_id!r} under {cache_root}")
+    return CampaignManifest.from_payload(payload)
+
+
+def list_manifests(cache_root: Union[str, Path]) -> List[str]:
+    """All campaign ids with a manifest under ``cache_root``, sorted."""
+    return sorted(p.stem for p in campaigns_dir(cache_root).glob("*.json"))
+
+
+def resolve_campaign_id(cache_root: Union[str, Path], prefix: str) -> str:
+    """Expand a unique id prefix (CLI convenience, git style)."""
+    matches = [cid for cid in list_manifests(cache_root) if cid.startswith(prefix)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise ValueError(f"no campaign matching {prefix!r} under {cache_root}")
+    raise ValueError(
+        f"ambiguous campaign prefix {prefix!r}: " + ", ".join(m[:12] for m in matches)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Derived status
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignStatus:
+    """A point-in-time view of a campaign, derived entirely from disk."""
+
+    campaign_id: str
+    total: int
+    done: int
+    claimed: int
+    pending: int
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.campaign_id[:12]}: {self.done}/{self.total} done, "
+            f"{self.claimed} claimed, {self.pending} pending"
+        )
+
+
+def campaign_status(
+    manifest: CampaignManifest,
+    cache: ResultCache,
+    claimed_keys: Iterable[str] = (),
+) -> CampaignStatus:
+    """Derive completion from the cache (existence check per cell).
+
+    ``claimed_keys`` — live lease holders from a
+    :class:`repro.campaigns.leases.LeaseManager` scan — splits the
+    not-done remainder into in-flight vs. untouched.
+    """
+    cache.refresh()
+    done = sum(1 for cell in manifest.cells if cache.contains_key(cell.key))
+    live = set(claimed_keys)
+    claimed = sum(
+        1 for cell in manifest.cells if cell.key in live and not cache.contains_key(cell.key)
+    )
+    total = len(manifest.cells)
+    return CampaignStatus(
+        campaign_id=manifest.campaign_id,
+        total=total,
+        done=done,
+        claimed=claimed,
+        pending=total - done - claimed,
+    )

@@ -19,6 +19,10 @@ Examples::
     python -m repro fuzz run --seed 0 --budget 50 --corpus-dir .fuzz-corpus
     python -m repro fuzz corpus --corpus-dir .fuzz-corpus
     python -m repro fuzz replay --corpus-dir .fuzz-corpus
+    python -m repro campaign create --ns 8 12 16 --replicas 8 --cache-dir .repro-cache
+    python -m repro campaign run --campaign ID --cache-dir .repro-cache --workers 4
+    python -m repro campaign status --cache-dir .repro-cache
+    python -m repro campaign resume --campaign ID --cache-dir .repro-cache
 
 The CLI is a thin shell over :mod:`repro.analysis` and :mod:`repro.runtime`:
 ``run``, ``sweep`` and ``report`` describe their work as
@@ -29,7 +33,9 @@ worker processes (rows are identical to serial execution, just faster);
 invocations execute zero simulations.  ``scenarios`` exposes the curated
 registry of :mod:`repro.scenarios` (see docs/SCENARIOS.md); ``fuzz``
 drives the adversarial schedule search of :mod:`repro.search` (see
-docs/FUZZING.md).
+docs/FUZZING.md); ``campaign`` runs crash-safe sharded campaigns through
+:mod:`repro.campaigns` — durable manifests, filesystem work-stealing,
+resume-from-anywhere (see docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
@@ -58,6 +64,17 @@ from repro.runtime import (
     execute,
     list_engines,
     replicate_spec,
+)
+from repro.campaigns import (
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_LEASE_TIMEOUT,
+    CampaignManifest,
+    list_manifests,
+    load_manifest,
+    resolve_campaign_id,
+    run_campaign,
+    save_manifest,
+    status_of,
 )
 from repro.scenarios import all_scenarios, get_scenario, scenario_names
 from repro.search.space import target_names
@@ -313,22 +330,42 @@ def _profiled_execute(args, specs, **kwargs):
         return execute(specs, executor=executor, **kwargs)
 
 
-def cmd_sweep(args) -> int:
-    if args.scenario:
-        return _sweep_scenario(args)
-    replicas = args.replicas
-    specs = []
+def sweep_specs(args) -> List[RunSpec]:
+    """The sweep grid as specs: one per ``--ns`` entry, times replicas.
+
+    Shared by ``sweep`` and ``campaign create`` so a campaign built from
+    the same flags produces the same cache keys a direct sweep would —
+    results flow between the two transparently through the cache.
+    """
+    specs: List[RunSpec] = []
     for n in args.ns:
         ns_args = argparse.Namespace(**vars(args))
         ns_args.n = n
         base = spec_from_args(ns_args)
-        if replicas > 1:
-            specs.extend(replicate_spec(base, replicas, args.seed, salt=f"sweep:{n}"))
+        if args.replicas > 1:
+            specs.extend(replicate_spec(base, args.replicas, args.seed, salt=f"sweep:{n}"))
         else:
             specs.append(base)
+    return specs
+
+
+def cmd_sweep(args) -> int:
+    if args.scenario:
+        return _sweep_scenario(args)
+    replicas = args.replicas
+    cache = make_cache(args)
+    swept = 0
+    if args.resume:
+        if cache is None:
+            raise SystemExit("--resume needs --cache-dir: resuming means "
+                             "trusting (and first cleaning) a cache directory")
+        swept = cache.sweep_stale_tmp()
+        cache.refresh()
+    specs = sweep_specs(args)
     result = _profiled_execute(
-        args, specs, cache=make_cache(args), engine=resolve_engine_flag(args)
+        args, specs, cache=cache, engine=resolve_engine_flag(args)
     )
+    result.stats.tmp_swept += swept
     if replicas > 1:
         # One aggregate row per n: a replica campaign reports the seed
         # distribution, not R near-identical table rows.
@@ -369,6 +406,23 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _reject_ignored_flags(args, defaults_argv: List[str], honored: set, reason: str) -> None:
+    """Fail loudly when flags the command would silently ignore were set.
+
+    Compares ``args`` against a fresh parse of ``defaults_argv`` and
+    rejects any non-``honored`` flag that differs from its default —
+    better a crisp error than a user believing their flags took effect.
+    """
+    defaults = vars(make_parser().parse_args(defaults_argv))
+    ignored = sorted(
+        "--" + key.replace("_", "-")
+        for key, value in vars(args).items()
+        if key in defaults and key not in honored and value != defaults[key]
+    )
+    if ignored:
+        raise SystemExit(f"{reason}; these flags would be ignored: {', '.join(ignored)}")
+
+
 def _sweep_scenario(args) -> int:
     """``sweep --scenario NAME``: the same campaign path as ``scenarios
     run`` (clean twins, fault metrics, summary).
@@ -377,18 +431,12 @@ def _sweep_scenario(args) -> int:
     sweep flag would be silently ignored — reject such combinations loudly
     instead of letting the user believe their flags took effect.
     """
-    defaults = vars(make_parser().parse_args(["sweep", "--scenario", args.scenario]))
-    honored = {"scenario", "workers", "cache_dir", "profile", "replicas", "batch", "engine"}
-    ignored = sorted(
-        "--" + key.replace("_", "-")
-        for key, value in vars(args).items()
-        if key in defaults and key not in honored and value != defaults[key]
+    _reject_ignored_flags(
+        args,
+        ["sweep", "--scenario", args.scenario],
+        {"scenario", "workers", "cache_dir", "profile", "replicas", "batch", "engine"},
+        f"--scenario {args.scenario} runs the registry's pinned specs",
     )
-    if ignored:
-        raise SystemExit(
-            f"--scenario {args.scenario} runs the registry's pinned specs; "
-            f"these flags would be ignored: {', '.join(ignored)}"
-        )
     args.name = args.scenario
     return cmd_scenarios_run(args)
 
@@ -596,6 +644,127 @@ def cmd_fuzz_replay(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _campaign_specs(args) -> List[RunSpec]:
+    """The cell grid for ``campaign create``: scenario registry specs (with
+    the same replica derivation ``scenarios run --replicas`` uses, so keys
+    line up) or the sweep grid the shape flags describe."""
+    if args.scenario:
+        scenario = get_scenario(args.scenario)
+        if args.replicas <= 1:
+            return list(scenario.specs)
+        specs: List[RunSpec] = []
+        for i, spec in enumerate(scenario.specs):
+            specs.extend(
+                replicate_spec(spec, args.replicas, args.seed,
+                               salt=f"replica:{args.scenario}:{i}")
+            )
+        return specs
+    return sweep_specs(args)
+
+
+def _campaign_meta(args) -> Dict[str, Any]:
+    """Human-facing provenance stored in the manifest (advisory only: the
+    campaign id hashes the cell keys, never this)."""
+    meta: Dict[str, Any] = {}
+    if args.title:
+        meta["title"] = args.title
+    if args.scenario:
+        meta["scenario"] = args.scenario
+    else:
+        meta["grid"] = {
+            "family": args.family,
+            "algorithm": args.algorithm,
+            "ns": list(args.ns),
+            "k": args.k,
+            "seed": args.seed,
+        }
+    if args.replicas > 1:
+        meta["replicas"] = args.replicas
+    return meta
+
+
+def _load_campaign(args) -> CampaignManifest:
+    try:
+        campaign_id = resolve_campaign_id(args.cache_dir, args.campaign)
+        return load_manifest(args.cache_dir, campaign_id)
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_campaign_create(args) -> int:
+    if not args.cache_dir:
+        raise SystemExit("campaign create needs --cache-dir: the manifest "
+                         "lives in the cache directory workers will share")
+    if args.scenario:
+        _reject_ignored_flags(
+            args,
+            ["campaign", "create", "--scenario", args.scenario,
+             "--cache-dir", args.cache_dir],
+            {"scenario", "cache_dir", "replicas", "title", "quiet"},
+            f"--scenario {args.scenario} freezes the registry's pinned specs",
+        )
+    make_cache(args)  # validate the directory before writing a manifest into it
+    manifest = CampaignManifest.from_specs(_campaign_specs(args), meta=_campaign_meta(args))
+    path = save_manifest(manifest, args.cache_dir)
+    if args.quiet:
+        print(manifest.campaign_id)
+        return 0
+    status = status_of(manifest, args.cache_dir)
+    print(f"campaign {manifest.campaign_id}")
+    print(f"  cells:    {len(manifest.cells)}")
+    print(f"  manifest: {path}")
+    print(f"  status:   {status.done} done, {status.claimed} claimed, "
+          f"{status.pending} pending")
+    print(f"\nnext: python -m repro campaign run "
+          f"--campaign {manifest.campaign_id[:12]} --cache-dir {args.cache_dir}")
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    """``campaign run|workers|resume`` — one handler by design: completion
+    is derived from the cache, so attaching more workers and resuming after
+    a crash are the same operation as the first run."""
+    manifest = _load_campaign(args)
+    stats = run_campaign(
+        manifest,
+        args.cache_dir,
+        workers=args.workers,
+        engine=resolve_engine_flag(args),
+        lease_timeout=args.lease_timeout,
+        idle_timeout=args.idle_timeout,
+    )
+    status = status_of(manifest, args.cache_dir, lease_timeout=args.lease_timeout)
+    print(status.summary())
+    print(f"{stats.summary()} — campaign={manifest.campaign_id[:12]}")
+    return 0 if status.complete and stats.failures == 0 else 1
+
+
+def cmd_campaign_status(args) -> int:
+    if args.campaign:
+        manifest = _load_campaign(args)
+        status = status_of(manifest, args.cache_dir, lease_timeout=args.lease_timeout)
+        print(status.summary())
+        return 0 if status.complete else 1
+    ids = list_manifests(args.cache_dir)
+    if not ids:
+        print(f"no campaigns under {args.cache_dir}")
+        return 1
+    rows = []
+    for campaign_id in ids:
+        manifest = load_manifest(args.cache_dir, campaign_id)
+        status = status_of(manifest, args.cache_dir, lease_timeout=args.lease_timeout)
+        rows.append({
+            "campaign": campaign_id[:12],
+            "cells": status.total,
+            "done": status.done,
+            "claimed": status.claimed,
+            "pending": status.pending,
+            "title": manifest.meta.get("title", manifest.meta.get("scenario", "")),
+        })
+    print(render_table(rows, title=f"{len(rows)} campaigns in {args.cache_dir}"))
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -693,6 +862,10 @@ def make_parser() -> argparse.ArgumentParser:
     ps.add_argument("--profile", action="store_true",
                     help="run the batch under cProfile and print the top 20 "
                          "cumulative entries (forces serial execution)")
+    ps.add_argument("--resume", action="store_true",
+                    help="crash-recovery hygiene before executing: sweep "
+                         "dead writers' *.tmp.* droppings and refresh the "
+                         "chunk index (requires --cache-dir)")
     replica_flags(ps)
     ps.set_defaults(fn=cmd_sweep)
 
@@ -755,6 +928,74 @@ def make_parser() -> argparse.ArgumentParser:
     engine_flag(fp)
     runtime_flags(fp)
     fp.set_defaults(fn=cmd_fuzz_replay)
+
+    pca = sub.add_parser(
+        "campaign",
+        help="crash-safe sharded campaigns over a shared cache (docs/CAMPAIGNS.md)")
+    camp_sub = pca.add_subparsers(dest="campaign_command", required=True)
+
+    def campaign_shared_flags(sp):
+        sp.add_argument("--cache-dir", type=str, required=True,
+                        help="the shared cache directory the campaign lives "
+                             "in (manifest, leases, and results)")
+        sp.add_argument("--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT,
+                        help="seconds of heartbeat silence before another "
+                             "worker may reclaim a cell's lease "
+                             f"(default {DEFAULT_LEASE_TIMEOUT:g})")
+
+    def campaign_id_flag(sp, required=True):
+        sp.add_argument("--campaign", type=str, required=required, default=None,
+                        help="campaign id — any unique prefix of the hash "
+                             "'campaign create' printed")
+
+    def campaign_worker_flags(sp):
+        sp.add_argument("--workers", type=positive_int, default=1,
+                        help="work-stealing worker processes to launch "
+                             "(default 1, in-process)")
+        sp.add_argument("--engine", choices=list_engines(), default=None,
+                        help="simulation backend (all backends are "
+                             "bit-identical; see docs/ENGINES.md)")
+        sp.add_argument("--idle-timeout", type=float, default=DEFAULT_IDLE_TIMEOUT,
+                        help="seconds a worker keeps waiting on cells leased "
+                             "to other workers before giving up "
+                             f"(default {DEFAULT_IDLE_TIMEOUT:g})")
+
+    cc = camp_sub.add_parser(
+        "create",
+        help="freeze a spec grid into a durable, content-addressed manifest")
+    common(cc)
+    cc.add_argument("--ns", type=int, nargs="+", default=[8, 12, 16],
+                    help="instance sizes for the grid (default: 8 12 16)")
+    cc.add_argument("--scenario", choices=scenario_names(), default=None,
+                    help="freeze a registered scenario's pinned specs "
+                         "instead of building the grid from the flags above")
+    cc.add_argument("--replicas", type=positive_int, default=1,
+                    help="run each configuration under N seeds (same "
+                         "derivation as sweep/scenarios, so keys match)")
+    cc.add_argument("--title", type=str, default=None,
+                    help="free-text label stored in the manifest metadata")
+    cc.add_argument("--quiet", action="store_true",
+                    help="print only the campaign id (for CID=$(...) capture)")
+    cc.set_defaults(fn=cmd_campaign_create)
+
+    for name, help_text in (
+        ("run", "drive a campaign to completion with N work-stealing workers"),
+        ("workers", "attach N more workers to a campaign running elsewhere"),
+        ("resume", "finish an interrupted campaign — executes exactly the "
+                   "missing cells (same code path as run; that is the point)"),
+    ):
+        sp = camp_sub.add_parser(name, help=help_text)
+        campaign_shared_flags(sp)
+        campaign_id_flag(sp)
+        campaign_worker_flags(sp)
+        sp.set_defaults(fn=cmd_campaign_run)
+
+    cst = camp_sub.add_parser(
+        "status",
+        help="derived progress: a cell is done iff its key resolves in the cache")
+    campaign_shared_flags(cst)
+    campaign_id_flag(cst, required=False)
+    cst.set_defaults(fn=cmd_campaign_status)
 
     return p
 

@@ -23,6 +23,10 @@ reports):
   docs/ENGINES.md);
 * :func:`execute` / :func:`run_specs` — the batch API gluing it together.
 
+The crash-safe campaign layer (:mod:`repro.campaigns` — durable
+manifests, filesystem-lease work-stealing, resume-from-anywhere; see
+docs/CAMPAIGNS.md) builds on this module's cache and executors.
+
 Serial execution is the default everywhere, keeping results bit-identical
 to single-process runs; parallel execution returns the exact same outcome
 list, just faster.  See docs/RUNTIME.md for the full tour.

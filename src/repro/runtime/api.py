@@ -63,18 +63,45 @@ class ExecutionStats:
     #: ``executed``; results are bit-identical to scalar execution).
     batched: int = 0
     elapsed: float = 0.0
+    # -- robustness counters (campaign / chaos observability; all zero on
+    #    clean single-process runs, so historical summaries are unchanged)
+    #: Lease claims lost to another worker (the cell was taken first).
+    contended: int = 0
+    #: Stale leases taken over from dead or wedged workers.
+    reclaimed: int = 0
+    #: Corrupt cache entries detected (torn/garbled files) — each one
+    #: reads as a miss and re-executes.
+    corrupt: int = 0
+    #: Idle backoff passes spent waiting on cells leased to other workers.
+    retries: int = 0
+    #: Stale ``*.tmp.*`` droppings unlinked by crash-hygiene sweeps.
+    tmp_swept: int = 0
 
     def summary(self) -> str:
         """One stable line for CLI output (deliberately no timing, so runs
         with different worker counts print byte-identical summaries).  The
-        batched count appears only when replica batching actually ran, so
-        historical output stays byte-stable."""
+        batched count appears only when replica batching actually ran, and
+        the robustness segment only when something contended, reclaimed,
+        healed, or retried — so historical output stays byte-stable."""
         line = (
             f"runtime: {self.total} runs — {self.executed} executed, "
             f"{self.cache_hits} cached, {self.failures} failed"
         )
         if self.batched:
             line += f" ({self.batched} batched)"
+        robust = [
+            f"{value} {label}"
+            for label, value in (
+                ("contended", self.contended),
+                ("reclaimed", self.reclaimed),
+                ("corrupt", self.corrupt),
+                ("retries", self.retries),
+                ("tmp swept", self.tmp_swept),
+            )
+            if value
+        ]
+        if robust:
+            line += f" [robustness: {', '.join(robust)}]"
         return line
 
     def merge(self, other: "ExecutionStats") -> None:
@@ -86,6 +113,11 @@ class ExecutionStats:
         self.failures += other.failures
         self.batched += other.batched
         self.elapsed += other.elapsed
+        self.contended += other.contended
+        self.reclaimed += other.reclaimed
+        self.corrupt += other.corrupt
+        self.retries += other.retries
+        self.tmp_swept += other.tmp_swept
 
 
 @dataclass
@@ -179,6 +211,7 @@ def execute(
     pending: List[RunSpec] = []
     pending_idx: List[int] = []
     hits = 0
+    corrupt_before = cache.corrupt if cache is not None else 0
     if cache is not None:
         for i, spec in enumerate(specs):
             run = cache.get(spec)
@@ -254,6 +287,7 @@ def execute(
         failures=sum(1 for o in final if not o.ok),
         batched=sum(1 for _, o in executed if o.batched),
         elapsed=time.perf_counter() - t0,
+        corrupt=(cache.corrupt - corrupt_before) if cache is not None else 0,
     )
     if stats is not None:
         stats.merge(batch_stats)

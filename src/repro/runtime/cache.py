@@ -17,19 +17,29 @@ cache I/O.  ``put_batch`` packs many records into a single chunk file
 under ``chunks/`` (same atomic-write discipline); lookups consult the
 per-key files first and an in-memory index of all chunk files second, so
 the two layouts interoperate in one directory.  The chunk index is a
-per-handle snapshot, loaded lazily and kept current only for this
-handle's own ``put_batch`` calls: a record chunk-written by a *different*
-handle after the snapshot loaded reads as a clean miss (the run simply
-re-executes), never as corruption — and a fresh handle sees the union of
-everything on disk.  ``execute(...,
-cache_chunk=N)`` opts a batch into chunked write-behind — see
-:mod:`repro.runtime.api` for the interruption-guarantee trade-off.
+per-handle snapshot, loaded lazily and kept current for this handle's own
+``put_batch`` calls; a chunk-miss additionally performs a one-``stat``
+staleness check on the ``chunks/`` directory, so a record chunk-written by
+a *different* handle (another campaign worker, another host sharing the
+directory) becomes visible the next time it is asked for.  ``refresh()``
+drops the snapshot outright — campaign resume calls it before deriving
+completion.  ``execute(..., cache_chunk=N)`` opts a batch into chunked
+write-behind — see :mod:`repro.runtime.api` for the
+interruption-guarantee trade-off.
+
+**Crash hygiene.**  Writers that die between ``tmp.write_text`` and
+``os.replace`` (SIGKILL, OOM) leave ``*.tmp.<pid>`` droppings next to the
+entries.  They are invisible to lookups, ``__len__``, and ``clear()``
+counting, and :meth:`sweep_stale_tmp` unlinks any whose owning pid is gone
+(or whose mtime is older than a grace period) — campaign workers run the
+sweep on startup and resume.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from hashlib import sha256
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple, Union
@@ -48,9 +58,14 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
-        # key -> record payload from chunk files; loaded lazily, once, then
-        # kept current by put_batch
+        #: Entries that existed on disk but failed to parse (killed writer,
+        #: disk trouble) — each one re-executes, and campaign stats surface
+        #: the count so chaos runs are observable.
+        self.corrupt = 0
+        # key -> record payload from chunk files; loaded lazily, then kept
+        # current by put_batch and the staleness check (_chunks_sig)
         self._chunk_index: Optional[Dict[str, dict]] = None
+        self._chunk_sig: Optional[int] = None
 
     @staticmethod
     def key_for(spec: RunSpec) -> str:
@@ -77,7 +92,8 @@ class ResultCache:
             if run is None:
                 self.misses += 1
                 return None
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, OSError):
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -102,34 +118,66 @@ class ResultCache:
     def _chunks_dir(self) -> Path:
         return self.root / "chunks"
 
+    def _chunks_mtime(self) -> Optional[int]:
+        """The ``chunks/`` directory's mtime in ns, or ``None`` when absent.
+        A chunk file landing or vanishing bumps the directory mtime on
+        POSIX, so one ``stat`` detects another writer's ``put_batch``."""
+        try:
+            return os.stat(self._chunks_dir()).st_mtime_ns
+        except OSError:
+            return None
+
     def _load_chunks(self) -> Dict[str, dict]:
         """The in-memory key -> record index over every chunk file.
 
         Built on first use by reading each chunk file once — for a
         fully-chunked cache of N records in C chunks that is C file opens
         instead of N, which is the read-side half of the I/O saving.
-        Corrupt chunk files are skipped (their records simply re-execute).
+        Corrupt chunk files are counted and skipped (their records simply
+        re-execute).
         """
         if self._chunk_index is None:
+            self._chunk_sig = self._chunks_mtime()
             index: Dict[str, dict] = {}
             for path in sorted(self._chunks_dir().glob("*.json")):
                 try:
                     payload = json.loads(path.read_text())
                     entries = payload["records"]
-                except (json.JSONDecodeError, KeyError, TypeError, OSError):
+                except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, OSError):
+                    self.corrupt += 1
                     continue
                 if isinstance(entries, dict):
                     index.update(entries)
             self._chunk_index = index
         return self._chunk_index
 
+    def refresh(self) -> None:
+        """Drop the chunk-index snapshot so the next lookup re-reads disk.
+
+        Cheap insurance for long-lived handles sharing a directory with
+        other writers: campaign resume calls it before deriving which cells
+        are complete.  (Ordinary chunk-misses already self-heal through the
+        mtime staleness check; ``refresh`` is the explicit, unconditional
+        form.)
+        """
+        self._chunk_index = None
+        self._chunk_sig = None
+
     def _chunk_get(self, key: str) -> Optional[GatheringRun]:
         entry = self._load_chunks().get(key)
         if entry is None:
-            return None
+            # Staleness check: another handle's put_batch since our
+            # snapshot?  One stat per miss; reload and retry only when the
+            # directory actually changed.
+            if self._chunks_mtime() != self._chunk_sig:
+                self.refresh()
+                entry = self._load_chunks().get(key)
+            if entry is None:
+                return None
         try:
             return GatheringRun.from_dict(entry["record"])
         except (KeyError, TypeError):
+            self.corrupt += 1
             return None
 
     def put_batch(self, pairs: Iterable[Tuple[RunSpec, GatheringRun]]) -> int:
@@ -161,6 +209,59 @@ class ResultCache:
         return len(records)
 
     # ------------------------------------------------------------------
+    # Crash hygiene
+    # ------------------------------------------------------------------
+    def _tmp_files(self) -> Iterable[Path]:
+        yield from self.root.glob("[0-9a-f][0-9a-f]/*.tmp.*")
+        yield from self._chunks_dir().glob("*.tmp.*")
+
+    def sweep_stale_tmp(self, max_age: float = 3600.0) -> int:
+        """Unlink ``*.tmp.<pid>`` droppings from killed writers; returns
+        how many were removed.
+
+        A tmp file is stale when its writing pid is no longer alive, or —
+        the cross-host case, where pids mean nothing — when its mtime is
+        older than ``max_age`` seconds.  Live writers' in-flight tmp files
+        (alive pid, recent mtime) are left alone, so the sweep is safe to
+        run concurrently with other workers.  ``max_age=0`` forces removal
+        regardless of pid (only safe when no writer can be mid-``put``).
+        """
+        removed = 0
+        now = time.time()
+        for path in list(self._tmp_files()):
+            try:
+                pid = int(path.name.rsplit(".", 1)[-1])
+            except ValueError:
+                pid = None
+            alive = False
+            if pid is not None and max_age > 0:
+                try:
+                    os.kill(pid, 0)
+                    alive = True
+                except PermissionError:  # exists, owned by someone else
+                    alive = True
+                except OSError:
+                    alive = False
+            try:
+                if alive and now - path.stat().st_mtime <= max_age:
+                    continue
+                path.unlink()
+                removed += 1
+            except OSError:  # vanished under us: another sweeper won
+                continue
+        return removed
+
+    # ------------------------------------------------------------------
+    def contains_key(self, key: str) -> bool:
+        """Whether ``key`` resolves, without parsing the record.
+
+        The campaign layer's completion test: a cell is done iff its key
+        resolves here (existence, not a recorded bitmap, so interrupt and
+        resume cost nothing).  A present-but-corrupt entry still "contains"
+        — workers re-check with :meth:`get` before trusting it.
+        """
+        return self._path(key).exists() or key in self._load_chunks()
+
     def __len__(self) -> int:
         per_key = sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.json"))
         chunked = self._load_chunks()
@@ -169,15 +270,19 @@ class ResultCache:
         return per_key + extra
 
     def __contains__(self, spec: RunSpec) -> bool:
-        key = self.key_for(spec)
-        return self._path(key).exists() or key in self._load_chunks()
+        return self.contains_key(self.key_for(spec))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many records were removed."""
+        """Delete every entry (and any tmp droppings); returns how many
+        records were removed (tmp files are hygiene, not records — they
+        are unlinked but never counted)."""
         removed = len(self)
         for entry in self.root.glob("[0-9a-f][0-9a-f]/*.json"):
             entry.unlink(missing_ok=True)
         for entry in self._chunks_dir().glob("*.json"):
             entry.unlink(missing_ok=True)
+        for entry in list(self._tmp_files()):
+            entry.unlink(missing_ok=True)
         self._chunk_index = {}
+        self._chunk_sig = self._chunks_mtime()
         return removed

@@ -28,7 +28,7 @@ import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from repro.runtime.spec import (
     BatchRunSpec,
@@ -121,6 +121,24 @@ class Executor(ABC):
     ) -> List[RunOutcome]:
         raise NotImplementedError
 
+    def iter_run(
+        self,
+        specs: Iterable[RunSpec],
+        engine: Optional[str] = None,
+    ) -> Iterator[RunOutcome]:
+        """Pull-based execution: consume specs lazily, yield outcomes.
+
+        The executor pulls the next spec only after the previous outcome is
+        yielded, so a generator feeding this loop can defer side effects —
+        the campaign worker claims a cell's lease *inside* its generator,
+        which means leases are acquired just-in-time, one at a time, and a
+        killed worker holds at most one (see :mod:`repro.campaigns.worker`).
+        Default implementation executes in-process; subclasses may overlap
+        execution but must preserve yield order.
+        """
+        for spec in specs:
+            yield execute_spec(spec, engine=engine)
+
     def run_batches(
         self,
         batches: Sequence[BatchRunSpec],
@@ -150,7 +168,12 @@ class Executor(ABC):
 
 
 class SerialExecutor(Executor):
-    """In-process execution, one spec at a time, in order."""
+    """In-process execution, one spec at a time, in order.
+
+    ``run`` is a thin eager shell over the base pull loop
+    (:meth:`Executor.iter_run`): it materializes the spec list (so
+    ``total`` is known for progress callbacks) and drains the iterator.
+    """
 
     def run(
         self,
@@ -160,11 +183,10 @@ class SerialExecutor(Executor):
     ) -> List[RunOutcome]:
         specs = list(specs)
         outcomes: List[RunOutcome] = []
-        for i, spec in enumerate(specs):
-            outcome = execute_spec(spec, engine=engine)
+        for outcome in self.iter_run(specs, engine=engine):
             outcomes.append(outcome)
             if progress is not None:
-                progress(outcome, i + 1, len(specs))
+                progress(outcome, len(outcomes), len(specs))
         return outcomes
 
 

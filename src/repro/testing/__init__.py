@@ -1,8 +1,14 @@
-"""Shared test/fuzz generators.
+"""Shared test/fuzz generators and the chaos harness.
 
 :mod:`repro.testing.strategies` holds the hypothesis strategies that the
 property suite and the schedule fuzzer's differential tests draw from —
 one set of generators, imported by both, instead of per-test-file copies
 that drift apart.  Importing it requires the ``dev`` extra (hypothesis);
 the production packages never import it.
+
+:mod:`repro.testing.chaos` is the seeded fault-injection harness behind
+the campaign layer's crash-safety tests (SIGKILL schedules, torn cache
+files, orphaned leases — see ``docs/CAMPAIGNS.md``).  It depends only on
+the standard library, so the campaign worker imports its hooks in
+production; with no ``REPRO_CHAOS`` configured they are inert.
 """

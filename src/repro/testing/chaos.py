@@ -1,0 +1,263 @@
+"""Chaos harness: seeded fault injection for crash-safe campaign testing.
+
+The campaign layer (:mod:`repro.campaigns`) promises that N workers
+coordinating only through the filesystem survive SIGKILL, torn files,
+stale leases, and slow claims — and still converge to results
+bit-identical to a clean serial run.  This module exists to *prove* that,
+not assert it: every robustness claim in ``docs/CAMPAIGNS.md`` has a
+chaos test driving the real code through the real failure.
+
+Two halves:
+
+**Seeded in-band faults** — :class:`ChaosMonkey`, threaded through the
+worker loop's fault points:
+
+* ``claimed`` / ``pre_write`` / ``post_write`` — SIGKILL the worker
+  process at the named point (after taking a lease; after executing but
+  before the cache write; after the write but before the release).  Kills
+  are rationed through ``O_EXCL`` slot files under ``<cache root>/chaos/``
+  so "kill exactly one worker" works without inter-process coordination.
+* claim delay — seeded jitter before every claim attempt, widening race
+  windows that would otherwise be nanoseconds.
+
+Decisions are pure functions of ``(config seed, fault point, cell key)``,
+so a chaos schedule is reproducible: same seed, same campaign, same kills.
+Configuration crosses process boundaries as JSON in the ``REPRO_CHAOS``
+environment variable — spawned campaign workers pick it up automatically.
+
+    REPRO_CHAOS='{"seed": 0, "kill": {"pre_write": 1.0}}' \\
+        python -m repro campaign run --campaign ID --cache-dir DIR --workers 2
+
+**Out-of-band vandalism** — module functions that damage a cache
+directory the way real crashes do: truncate or garble per-key entries and
+chunk files, plant stale ``*.tmp.<pid>`` droppings, orphan and backdate
+lease files.  Tests call these directly between campaign phases.
+
+SIGKILL is uncatchable by design — **never enable kill points for an
+in-process worker in a test**: the test process itself would die.  Kill
+chaos belongs to subprocess workers (``run_campaign(workers=N)`` or the
+CLI); delays and vandalism are safe anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "chaos_from_env",
+    "FAULT_POINTS",
+    "truncate_entry",
+    "garble_entry",
+    "chunk_files",
+    "truncate_chunk",
+    "plant_stale_tmp",
+    "orphan_lease",
+]
+
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: The worker-loop fault points a kill probability can attach to.
+FAULT_POINTS = ("claimed", "pre_write", "post_write")
+
+#: A pid no real process has (beyond every mainstream pid_max), used for
+#: planted tmp droppings so hygiene sweeps see a dead writer.
+DEAD_PID = 99999999
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A declarative, seed-deterministic chaos schedule."""
+
+    seed: int = 0
+    #: fault point -> kill probability (0..1); see :data:`FAULT_POINTS`.
+    kill: Dict[str, float] = field(default_factory=dict)
+    #: Total kills allowed across *all* workers sharing the cache dir.
+    kill_limit: int = 1
+    #: Max seconds of seeded jitter injected before each claim attempt.
+    claim_delay: float = 0.0
+
+    def __post_init__(self):
+        unknown = set(self.kill) - set(FAULT_POINTS)
+        if unknown:
+            raise ValueError(
+                f"unknown chaos fault points {sorted(unknown)}; known: {list(FAULT_POINTS)}"
+            )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "kill": self.kill,
+                "kill_limit": self.kill_limit,
+                "claim_delay": self.claim_delay,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosConfig":
+        payload = json.loads(text)
+        return cls(
+            seed=payload.get("seed", 0),
+            kill=dict(payload.get("kill", {})),
+            kill_limit=payload.get("kill_limit", 1),
+            claim_delay=payload.get("claim_delay", 0.0),
+        )
+
+    def env(self) -> Dict[str, str]:
+        """Environment overlay for launching chaos-afflicted workers."""
+        return {CHAOS_ENV_VAR: self.to_json()}
+
+
+class ChaosMonkey:
+    """Executes a :class:`ChaosConfig` against one cache directory."""
+
+    def __init__(self, config: ChaosConfig, cache_root: Union[str, Path]):
+        self.config = config
+        self.chaos_dir = Path(cache_root) / "chaos"
+
+    # -- seeded decisions --------------------------------------------------
+    def _rng(self, *scope: str) -> random.Random:
+        return random.Random(":".join((str(self.config.seed),) + scope))
+
+    def should_kill(self, point: str, key: str) -> bool:
+        """The seed-deterministic part of the kill decision (no slot
+        check, no side effects) — tests predict schedules with this."""
+        p = self.config.kill.get(point, 0.0)
+        return p > 0 and self._rng(point, key).random() < p
+
+    # -- kill rationing ----------------------------------------------------
+    def _claim_kill_slot(self) -> bool:
+        """Take one of the ``kill_limit`` slots, atomically, cross-process.
+
+        The same ``O_EXCL`` primitive the lease protocol uses: with
+        ``kill_limit=1``, exactly one worker anywhere dies no matter how
+        many trip a kill point.
+        """
+        self.chaos_dir.mkdir(parents=True, exist_ok=True)
+        for i in range(self.config.kill_limit):
+            try:
+                fd = os.open(self.chaos_dir / f"kill.{i}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps({"pid": os.getpid(), "time": time.time()}))
+            return True
+        return False
+
+    def kills_used(self) -> int:
+        return len(list(self.chaos_dir.glob("kill.*")))
+
+    # -- worker hooks ------------------------------------------------------
+    def trip(self, point: str, key: str) -> None:
+        """SIGKILL the current process if the schedule says so (and a kill
+        slot is available).  Does not return when it fires."""
+        if self.should_kill(point, key) and self._claim_kill_slot():
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def delay_claim(self, key: str) -> None:
+        if self.config.claim_delay > 0:
+            time.sleep(self._rng("delay", key).random() * self.config.claim_delay)
+
+
+def chaos_from_env(cache_root: Union[str, Path]) -> Optional[ChaosMonkey]:
+    """The monkey described by ``$REPRO_CHAOS``, or ``None`` (the default,
+    zero-overhead case).  Malformed JSON raises — silently ignoring a
+    chaos request would turn a failing chaos test into a vacuous pass."""
+    text = os.environ.get(CHAOS_ENV_VAR)
+    if not text:
+        return None
+    return ChaosMonkey(ChaosConfig.from_json(text), cache_root)
+
+
+# ---------------------------------------------------------------------------
+# Out-of-band vandalism (what real crashes leave behind)
+# ---------------------------------------------------------------------------
+
+
+def _entry_path(cache: ResultCache, spec: RunSpec) -> Path:
+    path = cache._path(ResultCache.key_for(spec))
+    if not path.exists():
+        raise FileNotFoundError(f"no per-key entry for spec under {cache.root}")
+    return path
+
+
+def truncate_entry(cache: ResultCache, spec: RunSpec, keep: int = 16) -> Path:
+    """Cut a per-key entry off mid-JSON, as a killed non-atomic writer or a
+    bad disk would."""
+    path = _entry_path(cache, spec)
+    path.write_bytes(path.read_bytes()[:keep])
+    return path
+
+
+def garble_entry(cache: ResultCache, spec: RunSpec) -> Path:
+    """Overwrite a per-key entry with non-JSON garbage."""
+    path = _entry_path(cache, spec)
+    path.write_bytes(b"\x00garbage\xff" * 3)
+    return path
+
+
+def chunk_files(cache: ResultCache) -> List[Path]:
+    return sorted((cache.root / "chunks").glob("*.json"))
+
+
+def truncate_chunk(cache: ResultCache, index: int = 0, keep: int = 16) -> Path:
+    """Truncate the ``index``-th chunk file (all its records become
+    misses that re-execute)."""
+    files = chunk_files(cache)
+    if not files:
+        raise FileNotFoundError(f"no chunk files under {cache.root}")
+    path = files[index]
+    path.write_bytes(path.read_bytes()[:keep])
+    return path
+
+
+def plant_stale_tmp(
+    cache: ResultCache, count: int = 3, pid: int = DEAD_PID
+) -> List[Path]:
+    """Scatter the ``*.tmp.<pid>`` droppings a killed writer leaves, in
+    both the per-key fan-out and ``chunks/`` layouts."""
+    planted = []
+    for i in range(count):
+        if i % 2 == 0:
+            d = cache.root / f"{i:02x}"
+        else:
+            d = cache.root / "chunks"
+        d.mkdir(parents=True, exist_ok=True)
+        path = d / f"dead{i}.tmp.{pid}"
+        path.write_text('{"torn": true')
+        planted.append(path)
+    return planted
+
+
+def orphan_lease(
+    cache_root: Union[str, Path],
+    campaign_id: str,
+    key: str,
+    owner: str = "ghost:0:deadbeef",
+    age: float = 1e6,
+) -> Path:
+    """Create a lease held by a dead worker, backdated ``age`` seconds so
+    it reads as stale.  (Layout mirrors :mod:`repro.campaigns.leases`
+    without importing it — chaos stays import-light so the production
+    campaign worker can depend on this module.)"""
+    lease_dir = Path(cache_root) / "leases" / campaign_id
+    lease_dir.mkdir(parents=True, exist_ok=True)
+    path = lease_dir / f"{key}.lease"
+    path.write_text(json.dumps({"owner": owner, "key": key, "claimed_at": time.time() - age}))
+    stale = time.time() - age
+    os.utime(path, (stale, stale))
+    return path

@@ -1,0 +1,158 @@
+"""Crash hygiene in ResultCache: torn files, stale tmp droppings, staleness.
+
+Satellites of the campaign work (docs/CAMPAIGNS.md): every way a killed
+writer or a bad disk can damage a cache directory must degrade to a cache
+miss that re-executes and overwrites — never a crash, never a wrong hit.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime import ExecutionStats, ResultCache, RunSpec, execute, execute_spec
+from repro.testing.chaos import (
+    DEAD_PID,
+    chunk_files,
+    garble_entry,
+    plant_stale_tmp,
+    truncate_chunk,
+    truncate_entry,
+)
+
+
+def ring_spec(n: int = 8, seed: int = 0) -> RunSpec:
+    return RunSpec(
+        algorithm="faster",
+        family="ring",
+        graph={"n": n},
+        placement="scatter",
+        k=3,
+        placement_args={"seed": seed},
+        labels_args={"seed": seed},
+    )
+
+
+class TestTornPerKeyFiles:
+    @pytest.mark.parametrize("damage", [truncate_entry, garble_entry])
+    def test_damage_is_a_counted_miss_that_reexecutes(self, tmp_path, damage):
+        cache = ResultCache(tmp_path)
+        spec = ring_spec()
+        original = execute([spec], cache=cache).outcomes[0].run_or_raise()
+        damage(cache, spec)
+
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+
+        result = execute([spec], cache=cache)
+        assert result.stats.executed == 1
+        assert result.stats.cache_hits == 0
+        assert result.stats.corrupt == 1
+        healed = result.outcomes[0].run_or_raise()
+        assert healed.to_dict() == original.to_dict()
+        # The re-execution overwrote the torn file: next lookup hits.
+        assert cache.get(spec) is not None
+        assert execute([spec], cache=cache).stats.cache_hits == 1
+
+    def test_damage_helpers_require_an_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            truncate_entry(cache, ring_spec())
+
+
+class TestTornChunkFiles:
+    def test_truncated_chunk_records_reexecute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [ring_spec(seed=s) for s in range(3)]
+        outcomes = [execute_spec(s) for s in specs]
+        originals = [o.run_or_raise().to_dict() for o in outcomes]
+        assert cache.put_batch((s, o.run) for s, o in zip(specs, outcomes)) == 3
+        assert len(chunk_files(cache)) == 1
+
+        truncate_chunk(cache)
+        cache.refresh()
+        assert all(cache.get(s) is None for s in specs)
+        assert cache.corrupt >= 1
+
+        result = execute(specs, cache=cache)
+        assert result.stats.executed == 3
+        assert [o.run_or_raise().to_dict() for o in result.outcomes] == originals
+        assert execute(specs, cache=cache).stats.cache_hits == 3
+
+    def test_missing_chunk_to_truncate_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            truncate_chunk(ResultCache(tmp_path))
+
+
+class TestChunkIndexStaleness:
+    def test_other_handles_chunk_writes_become_visible(self, tmp_path):
+        """A reader whose chunk index predates another process's put_batch
+        must detect the stale index and re-scan instead of reporting a miss."""
+        reader = ResultCache(tmp_path)
+        writer = ResultCache(tmp_path)
+        spec = ring_spec()
+        assert reader.get(spec) is None  # builds (empty) chunk index
+
+        outcome = execute_spec(spec)
+        writer.put_batch([(spec, outcome.run)])
+        assert reader.get(spec) is not None
+
+    def test_explicit_refresh_drops_the_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ring_spec()
+        cache.put_batch([(spec, execute_spec(spec).run)])
+        assert cache.get(spec) is not None
+        cache.refresh()
+        assert cache.get(spec) is not None  # rebuilt from disk, same answer
+
+
+class TestStaleTmpSweep:
+    def test_dead_writer_droppings_are_swept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        planted = plant_stale_tmp(cache, count=4)
+        assert all(p.exists() for p in planted)
+        assert cache.sweep_stale_tmp() == 4
+        assert not any(p.exists() for p in planted)
+        assert cache.sweep_stale_tmp() == 0
+
+    def test_live_writer_droppings_survive(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [path] = plant_stale_tmp(cache, count=1, pid=os.getpid())
+        assert cache.sweep_stale_tmp() == 0
+        assert path.exists()
+        # ...unless they are ancient (writer pid reused long ago) or the
+        # sweep is forced with max_age=0.
+        assert cache.sweep_stale_tmp(max_age=0) == 1
+        assert not path.exists()
+
+    def test_len_and_clear_ignore_tmp_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ring_spec()
+        execute([spec], cache=cache)
+        plant_stale_tmp(cache, count=2, pid=DEAD_PID)
+        assert len(cache) == 1
+        removed = cache.clear()
+        assert removed == 1
+        assert len(cache) == 0
+        assert list(cache._tmp_files()) == []
+
+
+class TestRobustnessStats:
+    def test_summary_is_byte_stable_when_clean(self):
+        stats = ExecutionStats(total=3, executed=3)
+        assert "robustness" not in stats.summary()
+
+    def test_summary_shows_only_nonzero_counters(self):
+        stats = ExecutionStats(total=3, executed=3, corrupt=2, retries=1)
+        line = stats.summary()
+        assert "[robustness: 2 corrupt, 1 retries]" in line
+        assert "contended" not in line
+
+    def test_merge_accumulates_robustness_counters(self):
+        a = ExecutionStats(contended=1, reclaimed=2, corrupt=3, retries=4, tmp_swept=5)
+        b = ExecutionStats(contended=10, reclaimed=20, corrupt=30, retries=40, tmp_swept=50)
+        a.merge(b)
+        assert (a.contended, a.reclaimed, a.corrupt, a.retries, a.tmp_swept) == (
+            11, 22, 33, 44, 55,
+        )

@@ -65,6 +65,7 @@ def test_docs_exist():
         "RUNTIME.md",
         "PERF.md",
         "CI.md",
+        "CAMPAIGNS.md",
     } <= names
 
 
@@ -101,8 +102,9 @@ def documented_subcommands():
             if not argv:
                 continue
             seen.add((argv[0],))
-            # nested subcommands (scenarios list|describe|run, fuzz run|corpus|replay)
-            if argv[0] in ("scenarios", "fuzz") and len(argv) > 1:
+            # nested subcommands (scenarios list|describe|run, fuzz
+            # run|corpus|replay, campaign create|run|workers|status|resume)
+            if argv[0] in ("scenarios", "fuzz", "campaign") and len(argv) > 1:
                 seen.add((argv[0], argv[1]))
     return sorted(seen)
 

@@ -504,9 +504,9 @@ class TestChunkedCache:
     def test_cache_dir_collision_across_writers(self, tmp_path):
         """Two cache handles on one directory (the parallel-worker shape).
 
-        Chunk indexes are per-handle snapshots: a record chunk-written by
-        another handle *after* this handle's index loaded reads as a miss
-        (safe — it would simply re-execute), never as corruption.  Per-key
+        A record chunk-written by another handle *after* this handle's
+        index loaded is found anyway: a miss rechecks the chunk
+        directory's mtime signature and reloads a stale index.  Per-key
         write-through files are always visible to every handle, and a
         fresh handle sees the union of everything on disk.
         """
@@ -521,8 +521,9 @@ class TestChunkedCache:
         assert b.get(specs[2]).to_dict() == runs[2].to_dict()
         # per-key write-through is visible across handles immediately
         assert a.get(specs[0]).to_dict() == runs[0].to_dict()
-        # a's snapshot predates b's chunk: a clean miss, not an error
-        assert a.get(specs[2]) is None
+        # a's snapshot predates b's chunk: the miss detects the stale
+        # index (chunk dir mtime moved) and refreshes into a hit
+        assert a.get(specs[2]).to_dict() == runs[2].to_dict()
         # a fresh handle (the next sweep invocation) sees the union
         fresh = ResultCache(tmp_path)
         for spec, run in zip(specs, runs):
