@@ -10,15 +10,21 @@ of one :class:`~repro.runtime.RunSpec` — executed two ways through the same
 * ``batch``  — the lockstep replica engine (``engine="batch-numpy"`` /
   ``engine="batch-list"``): one shared graph + CSR kernel, graph-pure checks paid
   once, a fused round loop with per-turn gate amortization, and a
-  per-graph BFS memo for the pair-distance column.
+  per-graph BFS memo for the pair-distance column;
+* ``numpy2d`` — the replica-major engine (``engine="batch-numpy2d"``):
+  the probe program is a :class:`~repro.sim.vector.VectorProgram`, so
+  whole replicas execute as R×k array kernels over the shared CSR (one
+  ``np.take`` advances every robot of every replica one round) and only
+  the record assembly runs per replica.
 
 The workload is the kernel rotor walk of ``bench_simcore.py`` (exit
 through ``entry_port + 1``), seeded per replica through the spec's seed so
 placements *and* walks differ across replicas — the shape of a real
 gathering campaign, minus algorithm cost that would drown the engines
-under measurement.  Before timing, every cell asserts that scalar and both
-batch backends produce **bit-identical** records (the exhaustive
-differential lives in ``tests/test_batch_differential.py``).
+under measurement.  Before timing, every cell asserts that scalar and
+every batch backend produce **bit-identical** records (the exhaustive
+differentials live in ``tests/test_batch_differential.py`` and
+``tests/test_batch2d.py``).
 
 The headline cell is ``ring n=256, k=2`` — the paper's rendezvous
 configuration, where per-round scheduler overhead dominates the two
@@ -49,8 +55,8 @@ from repro.runtime import (
     register_algorithm,
     unregister_algorithm,
 )
-from repro.sim.actions import Action
 from repro.sim.batch import BACKENDS
+from repro.sim.vector import rotor_walk_program
 
 __all__ = ["CELLS", "build_specs", "measure_cell", "run_suite", "main"]
 
@@ -59,25 +65,15 @@ PROBE = "batch-bench-rotor"
 
 def _rotor_builder(opts):
     """Kernel rotor walk, seeded: initial port depends on the spec seed, so
-    replicas trace different walks over the same graph."""
+    replicas trace different walks over the same graph.
+
+    Returns a :class:`~repro.sim.vector.VectorProgram`: scalar engines run
+    the generator program (byte-identical to the pre-vector benchmark
+    probe), while ``batch-numpy2d`` executes its array twin.
+    """
     rounds = opts.get("rounds", 400)
     seed = opts.get("seed", 0)
-
-    def factory(ctx):
-        def program():
-            obs = yield
-            deg = obs.degree
-            table = [Action.move(p) for p in range(deg)]
-            nxt = [(p + 1) % deg for p in range(deg)]
-            port = (ctx.label + seed) % deg
-            for _ in range(rounds):
-                obs = yield table[port]
-                port = nxt[obs.entry_port]
-            yield Action.terminate()
-
-        return program()
-
-    return factory
+    return rotor_walk_program(rounds, seed)
 
 
 #: ``(cell name, family, graph params, k, replicas)`` — the campaign grid.
@@ -138,11 +134,13 @@ def measure_cell(
     specs = build_specs(family, graph, k, replicas, rounds)
     modes = {
         "scalar": {},
+        "numpy2d": {"engine": "batch-numpy2d"},
         "numpy": {"engine": "batch-numpy"},
         "list": {"engine": "batch-list"},
     }
     if "numpy" not in BACKENDS:  # pragma: no cover - numpy-less environments
         del modes["numpy"]
+        del modes["numpy2d"]
 
     # correctness gate before timing
     reference = None
@@ -240,7 +238,7 @@ def main(argv=None) -> int:
             "R": w["replicas"],
             "scalar rep/s": f"{w['scalar_replicas_per_sec']:.0f}",
         }
-        for mode in ("numpy", "list"):
+        for mode in ("numpy2d", "numpy", "list"):
             key = f"batch_{mode}_replicas_per_sec"
             if key in w:
                 row[f"{mode} rep/s"] = f"{w[key]:.0f}"

@@ -46,9 +46,11 @@ def _engine_for_legacy_batch(batch: Union[bool, str]) -> str:
     """
     if batch is True or batch == "auto":
         return "batch-numpy" if HAVE_NUMPY else "batch-list"
-    if batch in ("numpy", "list"):
+    if batch in ("numpy", "list", "numpy2d"):
         return f"batch-{batch}"
-    raise ValueError(f"unknown batch backend {batch!r}; known: ['auto', 'list', 'numpy']")
+    raise ValueError(
+        f"unknown batch backend {batch!r}; known: ['auto', 'list', 'numpy', 'numpy2d']"
+    )
 
 
 @dataclass

@@ -29,7 +29,14 @@ from typing import Any, Dict, Iterator, Tuple
 from repro.graphs.generators import by_name
 from repro.graphs.port_graph import PortGraph
 
-__all__ = ["graph_for", "cache_info", "clear", "disabled", "MAX_ENTRIES"]
+__all__ = [
+    "graph_for",
+    "pair_memo_for",
+    "cache_info",
+    "clear",
+    "disabled",
+    "MAX_ENTRIES",
+]
 
 #: Retained graphs per process.  Sweeps rarely touch more than a few dozen
 #: distinct topologies; eviction is FIFO (dict insertion order), which for
@@ -74,15 +81,44 @@ def graph_for(family: str, params: Dict[str, Any]) -> PortGraph:
     return graph
 
 
+#: Per-graph BFS pair-distance memos, keyed by graph identity.  The memo
+#: holds a strong reference to its graph, so a live entry's ``id`` cannot
+#: be recycled; the identity check below guards the (bounded) stale case.
+_pair_memos: Dict[int, Any] = {}
+
+
+def pair_memo_for(graph: PortGraph):
+    """The shared :class:`~repro.analysis.placement.PairDistanceMemo` for
+    ``graph``.
+
+    Batched campaigns compute a min-pairwise start distance per replica
+    over one shared graph; the underlying BFS trees are pure functions of
+    the graph, so one memo serves every replica (and every batch) in the
+    process.  Answers are bit-identical to a fresh memo — the memo class
+    itself guarantees equality with the memo-free path.
+    """
+    memo = _pair_memos.get(id(graph))
+    if memo is not None and memo.graph is graph:
+        return memo
+    from repro.analysis.placement import PairDistanceMemo  # avoid a cycle
+
+    memo = PairDistanceMemo(graph)
+    if len(_pair_memos) >= MAX_ENTRIES:
+        _pair_memos.pop(next(iter(_pair_memos)))
+    _pair_memos[id(graph)] = memo
+    return memo
+
+
 def cache_info() -> Dict[str, int]:
     """``{"hits", "misses", "size"}`` for this process's memo."""
     return {"hits": _hits, "misses": _misses, "size": len(_cache)}
 
 
 def clear() -> None:
-    """Drop every memoized graph and reset the counters."""
+    """Drop every memoized graph/pair-distance memo and reset the counters."""
     global _hits, _misses
     _cache.clear()
+    _pair_memos.clear()
     _hits = 0
     _misses = 0
 

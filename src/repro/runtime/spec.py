@@ -29,7 +29,6 @@ from repro.analysis.experiments import (
     verify_uxs_for_graph,
 )
 from repro.analysis.placement import (
-    PairDistanceMemo,
     adversarial_scatter,
     assign_labels,
     dispersed_random,
@@ -43,9 +42,9 @@ from repro.core.uxs_gathering import uxs_gathering_program
 from repro.ext.faults import FaultPlan
 from repro.graphs.port_graph import PortGraph
 from repro.graphs.traversal import require_connected
-from repro.runtime.graph_cache import graph_for
+from repro.runtime.graph_cache import graph_for, pair_memo_for
 from repro.sim.activation import build_activation
-from repro.sim.batch import ReplicaBatch
+from repro.sim.batch import make_replica_batch
 from repro.sim.robot import RobotSpec
 from repro.sim.world import DEFAULT_MAX_ROUNDS
 
@@ -531,7 +530,7 @@ def execute_batch_spec(batch: BatchRunSpec) -> List[RunOutcome]:
             outcomes[i] = errored(specs[i], exc)
         return [o for o in outcomes if o is not None]
 
-    engine = ReplicaBatch(
+    engine = make_replica_batch(
         graph, fleets, strict=template.strict, backend=batch.backend
     )
     max_rounds = (
@@ -540,7 +539,7 @@ def execute_batch_spec(batch: BatchRunSpec) -> List[RunOutcome]:
     replica_outcomes = engine.run(
         max_rounds=max_rounds, stop_on_gather=template.stop_on_gather
     )
-    memo = PairDistanceMemo(graph)
+    memo = pair_memo_for(graph)  # shared per process; answers bit-identical
     elapsed = (time.perf_counter() - t0) / len(specs)
     for i, rep in zip(fleet_idx, replica_outcomes):
         spec = specs[i]

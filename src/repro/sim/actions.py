@@ -157,6 +157,7 @@ class Action:
     # ------------------------------------------------------------------
     @property
     def kind_name(self) -> str:
+        """The action's kind as its canonical lowercase name."""
         return _KIND_NAMES[self.kind]
 
     def __repr__(self) -> str:

@@ -57,6 +57,7 @@ class ActivationModel:
         raise NotImplementedError
 
     def describe(self) -> str:
+        """One human-readable line for logs and run manifests."""
         return self.name
 
 
@@ -66,6 +67,7 @@ class SynchronousActivation(ActivationModel):
     name = "sync"
 
     def select(self, due: List[Any], round_: int) -> List[Any]:
+        """Activate every due robot."""
         return due
 
 
@@ -88,6 +90,7 @@ class RoundRobinActivation(ActivationModel):
         self._turn = 0
 
     def select(self, due: List[Any], round_: int) -> List[Any]:
+        """Activate the first non-empty label-rank bucket, cyclically."""
         groups = self.groups
         turn = self._turn
         self._turn = turn + 1
@@ -101,6 +104,7 @@ class RoundRobinActivation(ActivationModel):
         return due  # pragma: no cover - some bucket above is non-empty
 
     def describe(self) -> str:
+        """One human-readable line for logs and run manifests."""
         return f"round-robin over {self.groups} label-rank groups"
 
 
@@ -128,6 +132,7 @@ class AdversarialActivation(ActivationModel):
         self._last_activated: Dict[int, int] = {}
 
     def select(self, due: List[Any], round_: int) -> List[Any]:
+        """Activate the ``budget`` robots that have waited the longest."""
         if not due:
             # Explicit no-op: nothing to starve, no bookkeeping to touch.
             return due
@@ -147,6 +152,7 @@ class AdversarialActivation(ActivationModel):
         return chosen
 
     def describe(self) -> str:
+        """One human-readable line for logs and run manifests."""
         return f"starve-longest adversary, budget {self.budget}/round"
 
 
@@ -171,6 +177,7 @@ class RandomActivation(ActivationModel):
         self._rng = random.Random(seed)
 
     def select(self, due: List[Any], round_: int) -> List[Any]:
+        """Flip a seeded coin per due robot; never return an empty set."""
         if not due:
             return due
         rng = self._rng
@@ -181,6 +188,7 @@ class RandomActivation(ActivationModel):
         return chosen
 
     def describe(self) -> str:
+        """One human-readable line for logs and run manifests."""
         return f"seeded coin-flip activation, rate {self.rate}, seed {self.seed}"
 
 
@@ -215,6 +223,7 @@ class BiasedActivation(ActivationModel):
         self._counts: Dict[int, int] = {}
 
     def select(self, due: List[Any], round_: int) -> List[Any]:
+        """Sample ``budget`` robots, weighted toward past activations."""
         if not due:
             return due
         counts = self._counts
@@ -244,6 +253,7 @@ class BiasedActivation(ActivationModel):
         return chosen
 
     def describe(self) -> str:
+        """One human-readable line for logs and run manifests."""
         return (
             f"rich-get-richer adversary, budget {self.budget}/round, "
             f"bias {self.bias}, seed {self.seed}"
@@ -303,6 +313,7 @@ ACTIVATION_MODELS: Dict[str, Callable[[Dict[str, Any]], Optional[ActivationModel
 
 
 def activation_names() -> List[str]:
+    """Sorted names of every registered activation model."""
     return sorted(ACTIVATION_MODELS)
 
 

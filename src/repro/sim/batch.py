@@ -70,6 +70,7 @@ __all__ = [
     "BatchSummary",
     "HAVE_NUMPY",
     "resolve_backend",
+    "make_replica_batch",
     "BACKENDS",
 ]
 
@@ -137,14 +138,35 @@ class _NumpyBackend:
         return [int(v) for v in arr]
 
 
+if HAVE_NUMPY:
+
+    class _Numpy2DBackend(_NumpyBackend):
+        """Bookkeeping for the replica-major 2D engine.
+
+        The R-wide bookkeeping ops are exactly :class:`_NumpyBackend`'s —
+        what changes under ``backend="numpy2d"`` is the *driver*:
+        :func:`make_replica_batch` returns a
+        :class:`~repro.sim.batch2d.Replica2DBatch`, which front-runs the
+        lockstep loop with whole-replica array kernels (see that module).
+        """
+
+        name = "numpy2d"
+
+
 #: Selectable backends by name; ``"auto"`` prefers NumPy when importable.
 BACKENDS = {"list": _ListBackend}
 if HAVE_NUMPY:
     BACKENDS["numpy"] = _NumpyBackend
+    BACKENDS["numpy2d"] = _Numpy2DBackend
 
 
 def resolve_backend(name: str):
-    """The backend class for ``name`` (``"auto"``/``"numpy"``/``"list"``)."""
+    """The backend class for ``name`` (``"auto"``/``"numpy2d"``/``"numpy"``/``"list"``).
+
+    ``"auto"`` prefers the plain NumPy bookkeeping backend: the 2D
+    replica-major driver only pays off for fleets that declare a
+    :class:`~repro.sim.vector.VectorProgram`, so it stays opt-in.
+    """
     if name == "auto":
         return BACKENDS["numpy"] if HAVE_NUMPY else BACKENDS["list"]
     try:
@@ -152,6 +174,28 @@ def resolve_backend(name: str):
     except KeyError:
         known = sorted(BACKENDS) + ["auto"]
         raise ValueError(f"unknown batch backend {name!r}; known: {known}") from None
+
+
+def make_replica_batch(
+    graph: PortGraph,
+    fleets: Sequence[Sequence[RobotSpec]],
+    strict: bool = False,
+    backend: str = "auto",
+) -> "ReplicaBatch":
+    """Construct the right batch engine for ``backend``.
+
+    ``"numpy2d"`` selects the replica-major
+    :class:`~repro.sim.batch2d.Replica2DBatch` (imported lazily — the
+    module needs NumPy); every other name builds a plain
+    :class:`ReplicaBatch`.  All engines are bit-identical on results; the
+    name only picks the execution strategy.
+    """
+    ops = resolve_backend(backend)  # raises on unknown names, resolves auto
+    if ops.name == "numpy2d":
+        from repro.sim.batch2d import Replica2DBatch
+
+        return Replica2DBatch(graph, fleets, strict=strict)
+    return ReplicaBatch(graph, fleets, strict=strict, backend=ops.name)
 
 
 # ---------------------------------------------------------------------------
@@ -174,6 +218,7 @@ class ReplicaOutcome:
 
     @property
     def ok(self) -> bool:
+        """True iff this replica produced a result and no error."""
         return self.result is not None and self.error is None
 
 
@@ -314,6 +359,13 @@ class ReplicaBatch:
         scratch = self._scratch
 
         live = [j for j in range(R) if outcomes[j] is None]
+        # Replica-major front-run: subclasses (Replica2DBatch) may retire
+        # whole replicas through array kernels before the lockstep loop ever
+        # steps a generator.  The base engine keeps every replica.
+        live = self._vector_phase(
+            live, rounds_arr, executed_arr, moves_arr, error_arr,
+            max_rounds, stop_on_gather,
+        )
         while live:
             nxt: List[int] = []
             for j in live:
@@ -394,6 +446,19 @@ class ReplicaBatch:
             backend=ops.name,
         )
         return list(outcomes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def _vector_phase(
+        self, live, rounds_arr, executed_arr, moves_arr, error_arr,
+        max_rounds: int, stop_on_gather: bool,
+    ) -> List[int]:
+        """Hook for replica-major execution; returns the replicas still live.
+
+        The base engine vectorizes nothing — every replica proceeds to the
+        lockstep generator loop.  :class:`~repro.sim.batch2d.Replica2DBatch`
+        overrides this to retire hot replicas through array kernels.
+        """
+        return live
 
     # ------------------------------------------------------------------
     # Slices: the fused _step_soa body, amortized over many rounds

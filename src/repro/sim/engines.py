@@ -2,21 +2,23 @@
 
 Every execution path in the repository registers here under a stable name:
 
-========== ========================================================== =====
-name       implementation                                             notes
-========== ========================================================== =====
-reference  :class:`~repro.sim.reference.ReferenceScheduler`           the executable spec; the conformance oracle
-incremental ``Scheduler`` pinned to the general path (PR-2 regime)    incremental occupancy/card caches, no SoA rounds
-soa        :class:`~repro.sim.scheduler.Scheduler` (default)          dual-regime: SoA hot loop + general fallback
-batch-list :class:`~repro.sim.batch.ReplicaBatch` (list backend)      lockstep replicas, pure-Python bookkeeping
-batch-numpy :class:`~repro.sim.batch.ReplicaBatch` (numpy backend)    lockstep replicas, vectorized bookkeeping
-========== ========================================================== =====
+============= ========================================================== =====
+name          implementation                                             notes
+============= ========================================================== =====
+reference     :class:`~repro.sim.reference.ReferenceScheduler`           the executable spec; the conformance oracle
+incremental   ``Scheduler`` pinned to the general path (PR-2 regime)     incremental occupancy/card caches, no SoA rounds
+soa           :class:`~repro.sim.scheduler.Scheduler` (default)          dual-regime: SoA hot loop + general fallback
+batch-list    :class:`~repro.sim.batch.ReplicaBatch` (list backend)      lockstep replicas, pure-Python bookkeeping
+batch-numpy   :class:`~repro.sim.batch.ReplicaBatch` (numpy backend)     lockstep replicas, vectorized bookkeeping
+batch-numpy2d :class:`~repro.sim.batch2d.Replica2DBatch`                 replica-major 2D kernels + scalar fallback
+============= ========================================================== =====
 
 Call sites name a backend (``World.run(engine="soa")``, ``execute(specs,
 engine="batch-numpy")``, ``--engine`` on the CLI) and the factory here
 resolves it; :func:`get_engine` raises a ``ValueError`` listing the
-registered names for typos.  ``batch-numpy`` registers only when numpy is
-importable, so :func:`list_engines` always reflects what can actually run.
+registered names for typos.  The ``batch-numpy*`` backends register only
+when numpy is importable, so :func:`list_engines` always reflects what can
+actually run.
 
 The conformance harness (``tests/test_engine_conformance.py``) runs every
 registered backend against the ``reference`` oracle; see ``docs/ENGINES.md``
@@ -29,7 +31,7 @@ import builtins
 from typing import Dict, List, Optional, Type
 
 from repro.sim import errors as _errors
-from repro.sim.batch import HAVE_NUMPY, ReplicaBatch, ReplicaOutcome
+from repro.sim.batch import HAVE_NUMPY, ReplicaOutcome, make_replica_batch
 from repro.sim.engine import Engine, EngineCapabilities, EngineRequest
 from repro.sim.reference import ReferenceScheduler
 from repro.sim.scheduler import Scheduler
@@ -73,6 +75,7 @@ def register_engine(cls: Type[Engine], *, replace: bool = False) -> Type[Engine]
 
 
 def unregister_engine(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent; test hygiene)."""
     _REGISTRY.pop(name, None)
 
 
@@ -237,7 +240,7 @@ class _BatchEngine(Engine):
 
     def __init__(self, request: EngineRequest):
         super().__init__(request)
-        self._batch = ReplicaBatch(
+        self._batch = make_replica_batch(
             request.graph,
             [list(request.robots)],
             strict=request.strict,
@@ -303,6 +306,16 @@ if HAVE_NUMPY:
         name = "batch-numpy"
         capabilities = EngineCapabilities(supports_batch=True)
         batch_backend = "numpy"
+
+    @register_engine
+    class BatchNumpy2DEngine(_BatchEngine):
+        """Replica-major 2D engine: array kernels for hot replicas, the
+        lockstep scalar drive for everything else (bit-identical either
+        way; see :mod:`repro.sim.batch2d`)."""
+
+        name = "batch-numpy2d"
+        capabilities = EngineCapabilities(supports_batch=True)
+        batch_backend = "numpy2d"
 
 
 def resolve_engine(name: Optional[str]) -> Type[Engine]:

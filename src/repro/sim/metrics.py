@@ -77,6 +77,7 @@ class RunMetrics:
     max_card_bits: int = 0
 
     def as_dict(self) -> Dict[str, object]:
+        """Every metric as one flat JSON-serializable dict."""
         return {
             "rounds": self.rounds,
             "rounds_executed": self.rounds_executed,

@@ -59,9 +59,11 @@ class ReferenceScheduler(Scheduler):
 
     # -- seed queries (linear scans; the fast path keeps counters) ------
     def all_terminated(self) -> bool:
+        """Linear scan: has every robot terminated?"""
         return all(r.status == rb.TERMINATED for r in self.robots)
 
     def all_gathered(self) -> bool:
+        """Linear scan: are all robots on one node?"""
         nodes = {r.node for r in self.robots}
         return len(nodes) == 1
 

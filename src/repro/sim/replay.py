@@ -26,6 +26,7 @@ class Frame:
     positions: Tuple[Tuple[int, int], ...]  # sorted (label, node) pairs
 
     def as_dict(self) -> Dict[int, int]:
+        """The frame's positions as a label -> node mapping."""
         return dict(self.positions)
 
 
@@ -47,6 +48,7 @@ class ReplayRecorder:
         self.dropped = 0
 
     def snapshot(self, round_: int, positions: Dict[int, int]) -> None:
+        """Record one end-of-round frame (deduplicated, subsampled at cap)."""
         snap = tuple(sorted(positions.items()))
         if self.changes_only and snap == self._last:
             return

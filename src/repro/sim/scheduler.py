@@ -233,9 +233,11 @@ class Scheduler:
         return {r.label: r.node for r in self.robots}
 
     def all_terminated(self) -> bool:
+        """O(1) counter check: has every robot terminated?"""
         return self._alive == 0
 
     def all_gathered(self) -> bool:
+        """O(1) counter check: are all robots on one node?"""
         # _occupied is maintained by both regimes; == 1 iff co-located
         return self._occupied == 1
 

@@ -49,6 +49,7 @@ class TraceRecorder:
         self.dropped = 0
 
     def record(self, round_: int, kind: str, robot: Optional[int], data: Any = None) -> None:
+        """Append one event, honouring the kind filter and the size cap."""
         if self.kinds is not None and kind not in self.kinds:
             return
         if self.limit is not None and len(self.events) >= self.limit:
@@ -57,9 +58,11 @@ class TraceRecorder:
         self.events.append(Event(round_, kind, robot, data))
 
     def of_kind(self, kind: str) -> List[Event]:
+        """All recorded events of one kind, in record order."""
         return [e for e in self.events if e.kind == kind]
 
     def for_robot(self, label: int) -> List[Event]:
+        """All recorded events attributed to one robot, in record order."""
         return [e for e in self.events if e.robot == label]
 
     def __len__(self) -> int:

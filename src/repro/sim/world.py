@@ -63,10 +63,12 @@ class RunResult:
 
     @property
     def rounds(self) -> int:
+        """Shorthand for ``metrics.rounds``."""
         return self.metrics.rounds
 
     @property
     def total_moves(self) -> int:
+        """Shorthand for ``metrics.total_moves``."""
         return self.metrics.total_moves
 
 

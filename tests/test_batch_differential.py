@@ -45,7 +45,12 @@ from repro.runtime import (
     group_into_batches,
     replicate_spec,
 )
-from repro.sim.batch import BACKENDS, HAVE_NUMPY, ReplicaBatch, resolve_backend
+from repro.sim.batch import (
+    BACKENDS,
+    HAVE_NUMPY,
+    make_replica_batch,
+    resolve_backend,
+)
 from repro.sim.robot import RobotSpec
 from repro.sim.world import World
 from tests.conftest import scaled_examples, scripted_factory, scripts
@@ -97,7 +102,7 @@ def test_engine_bit_identical_on_matrix(name, graph, case, prog, k, backend):
     """Every replica's positions/statuses/metrics equal a scalar run with
     the same seed, over the full integration-matrix graph battery."""
     replicas = 3 * DIFF_SCALE
-    batch = ReplicaBatch(
+    batch = make_replica_batch(
         graph, [_fleet(graph, prog, k, s) for s in range(replicas)],
         strict=True, backend=backend,
     )
@@ -135,9 +140,9 @@ def test_backends_agree_exactly(backend):
     def mk():
         return [_fleet(graph, faster_gathering_program, 3, s) for s in range(4)]
 
-    ref = ReplicaBatch(graph, mk(), strict=True, backend="list")
+    ref = make_replica_batch(graph, mk(), strict=True, backend="list")
     ref_out = ref.run()
-    other = ReplicaBatch(graph, mk(), strict=True, backend=backend)
+    other = make_replica_batch(graph, mk(), strict=True, backend=backend)
     other_out = other.run()
     for a, b in zip(ref_out, other_out):
         assert a.result.positions == b.result.positions
@@ -148,6 +153,8 @@ def test_backends_agree_exactly(backend):
 def test_resolve_backend():
     assert resolve_backend("list").name == "list"
     assert resolve_backend("auto").name == ("numpy" if HAVE_NUMPY else "list")
+    if HAVE_NUMPY:
+        assert resolve_backend("numpy2d").name == "numpy2d"
     with pytest.raises(ValueError, match="unknown batch backend"):
         resolve_backend("cuda")
 
@@ -160,7 +167,7 @@ def test_engine_isolates_construction_failures():
         RobotSpec(label=5, start=0, factory=undispersed_gathering_program()),
         RobotSpec(label=5, start=1, factory=undispersed_gathering_program()),
     ]
-    batch = ReplicaBatch(graph, [good, bad, _fleet(graph, undispersed_gathering_program, 3, 2)])
+    batch = make_replica_batch(graph, [good, bad, _fleet(graph, undispersed_gathering_program, 3, 2)])
     outcomes = batch.run(max_rounds=500_000)
     assert outcomes[0].ok and outcomes[2].ok
     assert not outcomes[1].ok
@@ -377,7 +384,7 @@ def test_scripted_replicas_bit_identical(graph_pick, replica_scripts, data):
         for r in range(len(replica_scripts))
     ]
     for backend in BACKEND_NAMES:
-        batch = ReplicaBatch(
+        batch = make_replica_batch(
             graph, [fleet(r) for r in range(len(replica_scripts))], backend=backend
         )
         outcomes = batch.run(max_rounds=10_000)

@@ -461,12 +461,13 @@ def test_registered_name_and_capabilities_are_honest_declarations(engine):
     assert cls.name == engine
     assert isinstance(cls.capabilities, EngineCapabilities)
     if cls.capabilities.supports_batch:
-        assert cls.batch_backend in ("list", "numpy")
+        assert cls.batch_backend in ("list", "numpy", "numpy2d")
 
 
 def test_expected_backends_present():
     assert {"reference", "incremental", "soa", "batch-list"} <= set(ENGINES)
     assert ("batch-numpy" in ENGINES) == HAVE_NUMPY
+    assert ("batch-numpy2d" in ENGINES) == HAVE_NUMPY
     assert DEFAULT_ENGINE in ENGINES
 
 
